@@ -1,0 +1,88 @@
+"""Shared runners for the benchmark suite.
+
+Every bench regenerates one of the paper's tables/figures (Section VIII);
+these helpers run the competitor set over a batch of ground-truth UIRs and
+return the per-method mean F1 series the benches print and sanity-check.
+
+Budget accounting (documented in EXPERIMENTS.md): LTE methods and the
+SVM/SVMr competitors label B tuples *per subspace* (the C_s centers plus
+delta random tuples, exactly the paper's initial-exploration protocol);
+the full-space baselines DSM and AL-SVM label B full tuples total, with
+free query-agnostic seed sampling (the paper excludes the baselines'
+initial-sampling cost too).
+"""
+
+import numpy as np
+
+from repro.bench import (baseline_oracle_pairs, mean_f1_baseline, mean_f1_lte,
+                         mean_f1_subspace_svm)
+
+LTE_VARIANTS = ("meta_star", "meta", "basic")
+SERIES_LABELS = {"meta_star": "Meta*", "meta": "Meta", "basic": "Basic",
+                 "dsm": "DSM", "al_svm": "AL-SVM", "aide": "AIDE",
+                 "svm": "SVM", "svmr": "SVMr"}
+
+
+def subspaces_for_dims(lte, n_dims):
+    """First ceil(n_dims / subspace_dim) meta-subspaces of the system."""
+    per = lte.config.subspace_dim
+    need = max(1, n_dims // per)
+    subs = list(lte.states)[:need]
+    if len(subs) < need:
+        raise ValueError("system has only {} subspaces".format(len(subs)))
+    return subs
+
+
+def run_lte_methods(lte, oracles, eval_rows, subspaces,
+                    variants=LTE_VARIANTS):
+    """{'Meta*': f1, 'Meta': f1, 'Basic': f1} over the oracle batch."""
+    return {SERIES_LABELS[v]: mean_f1_lte(lte, oracles, eval_rows, v,
+                                          subspaces=subspaces)
+            for v in variants}
+
+
+def run_fullspace_baselines(lte, oracles, eval_rows, subspaces, budget,
+                            pool_size, kinds=("dsm", "al_svm"),
+                            explore_rows=4000):
+    """DSM / AL-SVM on the user-interest space columns of the table."""
+    columns = [c for s in subspaces for c in s.columns]
+    user_eval = eval_rows[:, columns]
+    user_full = lte.table.data[:explore_rows, columns]
+    pairs = baseline_oracle_pairs(oracles, subspaces)
+    out = {}
+    for kind in kinds:
+        out[SERIES_LABELS[kind]] = mean_f1_baseline(
+            kind, user_full, pairs, user_eval, budget=budget,
+            pool_size=pool_size)
+    return out
+
+
+def run_svm_variants(lte, oracles, eval_rows, subspaces):
+    """SVM (raw min-max features) and SVMr (tabular representation)."""
+    return {
+        "SVM": mean_f1_subspace_svm(lte, oracles, eval_rows, subspaces,
+                                    encoded=False),
+        "SVMr": mean_f1_subspace_svm(lte, oracles, eval_rows, subspaces,
+                                     encoded=True),
+    }
+
+
+def subspace_level_f1(lte, subspace, regions, variant, eval_points):
+    """Mean per-subspace F1 of an LTE variant over ground-truth regions.
+
+    Used by the UIS-mode experiments (Table II, Fig. 8) which measure
+    subregion quality rather than full conjunctive UIRs.
+    """
+    from repro.explore.metrics import f1_score
+    from repro.explore.oracle import ConjunctiveOracle
+
+    scores = []
+    for region in regions:
+        oracle = ConjunctiveOracle({subspace: region})
+        session = lte.start_session(variant=variant, subspaces=[subspace])
+        for sub, tuples in session.initial_tuples().items():
+            session.submit_labels(sub, oracle.label_subspace(sub, tuples))
+        pred = session.predict_subspace(subspace, eval_points)
+        truth = region.label(eval_points)
+        scores.append(f1_score(truth, pred))
+    return float(np.mean(scores))

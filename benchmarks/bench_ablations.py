@@ -1,0 +1,87 @@
+"""Ablations of the reproduction's design choices (DESIGN.md §6).
+
+Not a paper figure: quantifies what each switchable component contributes
+at bench scale, on held-out subspace tasks (SDSS, B=30):
+
+* ``full``            — the default Meta configuration;
+* ``no_memories``     — plain first-order MAML (Eqs. 6-10/14-16 off);
+* ``no_affinity``     — tuple representation without the center-affinity
+                        channel;
+* ``no_pretrain``     — literal Algorithm 2 (no joint pretraining phase);
+* ``no_balance``      — unweighted BCE (no class balancing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import build_lte, get_table, make_config, print_series
+from repro.core.framework import LTE
+from repro.explore.metrics import f1_score
+
+ABLATIONS = ("full", "no_memories", "no_affinity", "no_pretrain",
+             "no_balance")
+
+
+def _config_for(name, scale):
+    config = make_config(budget=30, scale=scale)
+    if name == "no_memories":
+        config.use_memories = False
+    elif name == "no_affinity":
+        config.center_affinity = False
+    elif name == "no_pretrain":
+        config.meta.pretrain_epochs = 0
+    elif name == "no_balance":
+        config.meta.balance_classes = False
+    return config
+
+
+def _meta_f1_on_held_out(lte, n_tasks=8):
+    state = lte.states[list(lte.states)[0]]
+    held_out = state.task_generator.generate(n_tasks)
+    scores = []
+    for task in held_out:
+        adapted, _ = state.trainer.adapt(
+            task.feature_vector, state.encode_scaled(task.support_x),
+            task.support_y, local_steps=15, local_lr=0.01)
+        pred = adapted.predict(state.encode_scaled(task.query_x))
+        scores.append(f1_score(task.query_y, pred))
+    return float(np.mean(scores))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablations(benchmark, scale, report):
+    table = get_table("sdss", scale)
+
+    def run():
+        results = {}
+        for name in ABLATIONS:
+            lte = LTE(_config_for(name, scale))
+            subspaces = None
+            # Train only the first subspace: ablations are subspace-level.
+            lte.fit_offline(table, train=False)
+            first = list(lte.states)[0]
+            lte.train_subspace(first)
+            results[name] = [_meta_f1_on_held_out(lte)]
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    with report():
+        print_series("Ablations: Meta F1 on held-out tasks (SDSS, B=30)",
+                     "config", ["F1"],
+                     {k: v for k, v in results.items()})
+
+    full = results["full"][0]
+    assert 0.0 <= full <= 1.0
+    # Each component should not massively help when removed: the full
+    # configuration stays within noise of (or above) every ablation.
+    for name in ABLATIONS[1:]:
+        assert full >= results[name][0] - 0.15, (name, results)
+
+
+def test_build_lte_variants_cached_separately(scale):
+    """Ablation builds must not collide in the workload cache."""
+    a = build_lte("sdss", budget=30, scale=scale, use_memories=True,
+                  train=False)
+    b = build_lte("sdss", budget=30, scale=scale, use_memories=False,
+                  train=False)
+    assert a is not b

@@ -1,0 +1,53 @@
+"""Figure 4(a): accuracy vs dimensionality (SDSS, B=30).
+
+Paper shape: all methods degrade as |D_u| grows 2D -> 8D; the SVM-based
+baselines (DSM, AL-SVM) drop sharply (DSM ~ -75%) while the NN-based LTE
+variants degrade gently (Meta* ~ -18%); Meta* >= Meta >= Basic throughout.
+"""
+
+import pytest
+
+from _common import (run_fullspace_baselines, run_lte_methods,
+                     subspaces_for_dims)
+from repro.bench import build_lte, convex_oracles, eval_rows_for, print_series
+
+DIMS = (2, 4, 6, 8)
+BUDGET = 30
+
+
+@pytest.mark.benchmark(group="fig4a")
+def test_fig4a_accuracy_vs_dimension(benchmark, scale, report):
+    lte = build_lte("sdss", budget=BUDGET, scale=scale)
+    eval_rows = eval_rows_for(lte, scale)
+
+    def run():
+        series = {name: [] for name in
+                  ("Meta*", "Meta", "Basic", "DSM", "AL-SVM", "AIDE")}
+        for dim in DIMS:
+            subspaces = subspaces_for_dims(lte, dim)
+            oracles = convex_oracles(lte, subspaces,
+                                     n_uirs=scale.n_test_uirs,
+                                     seed=1000 + dim)
+            scores = run_lte_methods(lte, oracles, eval_rows, subspaces)
+            scores.update(run_fullspace_baselines(
+                lte, oracles, eval_rows, subspaces, budget=BUDGET,
+                pool_size=scale.pool_size,
+                kinds=("dsm", "al_svm", "aide")))
+            for name, value in scores.items():
+                series[name].append(value)
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    with report():
+        print_series("Figure 4(a): F1 vs |Du| (SDSS, B=30)", "|Du|",
+                     ["{}D".format(d) for d in DIMS], series)
+
+    # Shape assertions (loose: quick scale is noisy).
+    assert all(0.0 <= v <= 1.0 for vs in series.values() for v in vs)
+    # NN methods dominate the SVM baselines at 8D.
+    assert series["Meta*"][-1] > series["DSM"][-1]
+    assert series["Meta*"][-1] > series["AL-SVM"][-1]
+    # DSM's relative degradation 2D->8D exceeds Meta*'s.
+    dsm_drop = series["DSM"][0] - series["DSM"][-1]
+    meta_drop = series["Meta*"][0] - series["Meta*"][-1]
+    assert dsm_drop > meta_drop - 0.05

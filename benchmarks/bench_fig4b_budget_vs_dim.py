@@ -1,0 +1,57 @@
+"""Figure 4(b): label budget needed to reach F1 = 0.75 vs dimensionality.
+
+Paper shape: Meta* reaches the target with < 150 labels through 4-8D;
+DSM and AL-SVM need far more in 6-8D (off the chart at 8D).  A method that
+never reaches the target within the sweep is reported at the sweep cap.
+"""
+
+import pytest
+
+from _common import (run_fullspace_baselines, run_lte_methods,
+                     subspaces_for_dims)
+from repro.bench import (budget_to_reach, build_lte, convex_oracles,
+                         eval_rows_for, print_series)
+
+DIMS = (4, 6, 8)
+BUDGETS = (30, 55, 80, 105)
+TARGET_F1 = 0.75
+
+
+@pytest.mark.benchmark(group="fig4b")
+def test_fig4b_budget_to_target_f1(benchmark, scale, report):
+    def run():
+        needed = {name: [] for name in ("Meta*", "Meta", "Basic", "DSM")}
+        for dim in DIMS:
+            curves = {name: {} for name in needed}
+            for budget in BUDGETS:
+                lte = build_lte("sdss", budget=budget, scale=scale)
+                subspaces = subspaces_for_dims(lte, dim)
+                oracles = convex_oracles(lte, subspaces,
+                                         n_uirs=max(2, scale.n_test_uirs // 2),
+                                         seed=2000 + dim)
+                eval_rows = eval_rows_for(lte, scale)
+                scores = run_lte_methods(lte, oracles, eval_rows, subspaces)
+                scores.update(run_fullspace_baselines(
+                    lte, oracles, eval_rows, subspaces, budget=budget,
+                    pool_size=scale.pool_size, kinds=("dsm",)))
+                for name in needed:
+                    curves[name][budget] = scores[name]
+            cap = max(BUDGETS) + 45  # "far exceeding the sweep"
+            for name in needed:
+                reached = budget_to_reach(curves[name], TARGET_F1)
+                needed[name].append(cap if reached is None else reached)
+        return needed
+
+    needed = benchmark.pedantic(run, rounds=1, iterations=1)
+    with report():
+        print_series(
+            "Figure 4(b): labels to reach F1={} (SDSS)".format(TARGET_F1),
+            "|Du|", ["{}D".format(d) for d in DIMS],
+            {k: [float(v) for v in vs] for k, vs in needed.items()})
+
+    # The meta variants never need more labels than DSM at any dimension
+    # (evaluated on the better of Meta/Meta* per dim — single-run budget
+    # thresholds are noisy at quick scale).
+    best_meta = [min(m, ms) for m, ms in zip(needed["Meta"],
+                                             needed["Meta*"])]
+    assert all(m <= d for m, d in zip(best_meta, needed["DSM"]))

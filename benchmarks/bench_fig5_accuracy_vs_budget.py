@@ -1,0 +1,52 @@
+"""Figure 5(a-d): accuracy vs label budget B on 2/4/6/8D (SDSS).
+
+Paper shape: every method improves with B; DSM is best (or near-best) in
+the 2D panel (convex+conjunctive is its home assumption) but collapses as
+dimensionality grows, while Meta/Meta* dominate from 4D upward.
+"""
+
+import pytest
+
+from _common import (run_fullspace_baselines, run_lte_methods,
+                     subspaces_for_dims)
+from repro.bench import build_lte, convex_oracles, eval_rows_for, print_series
+
+BUDGETS = (30, 55, 80, 105)
+DIMS = (2, 4, 6, 8)
+
+
+@pytest.mark.benchmark(group="fig5")
+@pytest.mark.parametrize("dim", DIMS)
+def test_fig5_accuracy_vs_budget(benchmark, scale, report, dim):
+    def run():
+        series = {name: [] for name in ("Meta*", "Meta", "Basic", "DSM")}
+        for budget in BUDGETS:
+            lte = build_lte("sdss", budget=budget, scale=scale)
+            subspaces = subspaces_for_dims(lte, dim)
+            oracles = convex_oracles(lte, subspaces,
+                                     n_uirs=max(2, scale.n_test_uirs // 2),
+                                     seed=3000 + dim)
+            eval_rows = eval_rows_for(lte, scale)
+            scores = run_lte_methods(lte, oracles, eval_rows, subspaces)
+            scores.update(run_fullspace_baselines(
+                lte, oracles, eval_rows, subspaces, budget=budget,
+                pool_size=scale.pool_size, kinds=("dsm",)))
+            for name in series:
+                series[name].append(scores[name])
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    with report():
+        print_series("Figure 5: F1 vs B (SDSS, {}D)".format(dim), "B",
+                     list(BUDGETS), series)
+
+    assert all(0.0 <= v <= 1.0 for vs in series.values() for v in vs)
+    if dim >= 6:
+        # High dimension: the meta variants dominate DSM at every budget.
+        # (Joint positive rates are < 1% here, so single-budget F1 values
+        # are noisy at quick scale — compare the sweep best.)
+        assert max(series["Meta*"]) > max(series["DSM"])
+        assert max(series["Meta"]) > max(series["DSM"])
+    else:
+        # More budget should not hurt much: compare sweep ends loosely.
+        assert series["Meta*"][-1] >= series["Meta*"][0] - 0.15

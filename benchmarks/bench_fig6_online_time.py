@@ -1,0 +1,72 @@
+"""Figure 6: online exploration wall-clock time vs budget B.
+
+Paper shape: DSM's online cost grows roughly linearly with B (an SVM
+retrain + selection per label) and with dimensionality, reaching tens of
+seconds; Meta*'s cost is a handful of gradient steps, roughly flat in both
+B and dimension, and orders of magnitude lower.
+"""
+
+import numpy as np
+import pytest
+
+from _common import subspaces_for_dims
+from repro.baselines import DSMExplorer
+from repro.bench import build_lte, convex_oracles, print_series
+from repro.bench.harness import baseline_oracle_pairs
+
+BUDGETS = (30, 105)
+DIMS = (4, 8)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_online_exploration_time(benchmark, scale, report):
+    def run():
+        series = {}
+        xs = []
+        for dim in DIMS:
+            for name in ("DSM({}D)".format(dim), "Meta*({}D)".format(dim)):
+                series[name] = []
+        for budget in BUDGETS:
+            xs.append(budget)
+            lte = build_lte("sdss", budget=budget, scale=scale)
+            for dim in DIMS:
+                subspaces = subspaces_for_dims(lte, dim)
+                oracle = convex_oracles(lte, subspaces, n_uirs=1,
+                                        seed=4000 + dim)[0]
+                # --- Meta*: time the label-feeding / adaptation phase.
+                session = lte.start_session(variant="meta_star",
+                                            subspaces=subspaces)
+                for sub, tuples in session.initial_tuples().items():
+                    session.submit_labels(
+                        sub, oracle.label_subspace(sub, tuples))
+                series["Meta*({}D)".format(dim)].append(
+                    session.adapt_seconds)
+                # --- DSM: time the full active-learning loop.
+                columns = [c for s in subspaces for c in s.columns]
+                rows = lte.table.data[:3000, columns]
+                (orc, project), = baseline_oracle_pairs([oracle], subspaces)
+                import time
+                start = time.perf_counter()
+                explorer = DSMExplorer(budget=budget,
+                                       pool_size=scale.pool_size, seed=0)
+                explorer.explore(
+                    rows, lambda pts: orc.ground_truth(project(pts)))
+                series["DSM({}D)".format(dim)].append(
+                    time.perf_counter() - start)
+        return xs, series
+
+    xs, series = benchmark.pedantic(run, rounds=1, iterations=1)
+    with report():
+        print_series("Figure 6: online exploration time (seconds)", "B", xs,
+                     series)
+
+    # DSM must be at least an order of magnitude slower at the top budget.
+    for dim in DIMS:
+        dsm = series["DSM({}D)".format(dim)][-1]
+        meta = series["Meta*({}D)".format(dim)][-1]
+        assert dsm > 10 * meta
+    # DSM cost grows with budget; Meta* stays roughly flat.
+    assert series["DSM(8D)"][-1] > series["DSM(8D)"][0]
+    flat_ratio = (series["Meta*(8D)"][-1]
+                  / max(series["Meta*(8D)"][0], 1e-9))
+    assert flat_ratio < 10

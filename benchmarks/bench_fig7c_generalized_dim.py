@@ -1,0 +1,47 @@
+"""Figure 7(c): accuracy vs UIR dimensionality on generalized UIRs (B=30).
+
+Paper shape: with complex (concave/disconnected) UISs combined across
+4/6/8D, the NN methods stay relatively stable with dimension and dominate
+SVM, whose accuracy is low throughout.
+"""
+
+import pytest
+
+from _common import run_lte_methods, subspaces_for_dims
+from bench_fig7ab_generalized_budget import mixed_mode_oracles
+from repro.bench import (build_lte, eval_rows_for, mean_f1_subspace_svm,
+                         print_series)
+
+DIMS = (4, 6, 8)
+BUDGET = 30
+
+
+@pytest.mark.benchmark(group="fig7c")
+def test_fig7c_generalized_accuracy_vs_dim(benchmark, scale, report):
+    lte = build_lte("sdss", budget=BUDGET, scale=scale)
+    eval_rows = eval_rows_for(lte, scale)
+
+    def run():
+        series = {name: [] for name in ("Meta*", "Meta", "Basic", "SVM")}
+        for dim in DIMS:
+            subspaces = subspaces_for_dims(lte, dim)
+            oracles = mixed_mode_oracles(
+                lte, subspaces, n_uirs=max(2, scale.n_test_uirs // 2),
+                seed=7000 + dim)
+            scores = run_lte_methods(lte, oracles, eval_rows, subspaces)
+            scores["SVM"] = mean_f1_subspace_svm(
+                lte, oracles, eval_rows, subspaces, encoded=False)
+            for name in series:
+                series[name].append(scores[name])
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    with report():
+        print_series("Figure 7(c): generalized UIRs, F1 vs |Du| "
+                     "(SDSS, B=30)", "|Du|",
+                     ["{}D".format(d) for d in DIMS], series)
+
+    assert all(0.0 <= v <= 1.0 for vs in series.values() for v in vs)
+    # Meta* dominates plain SVM at every dimension.
+    assert all(m >= s - 0.02
+               for m, s in zip(series["Meta*"], series["SVM"]))

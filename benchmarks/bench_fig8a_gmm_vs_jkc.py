@@ -1,0 +1,68 @@
+"""Figure 8(a): effectiveness of the tabular representations (GMM vs JKC).
+
+Paper shape: GMM-only already trains a usable classifier; integrating both
+GMM and JKC ("Basic") improves it further; *without* the multi-modal
+representations (plain min-max) the model can hardly be trained.
+
+Reproduction note (see EXPERIMENTS.md): the paper's catastrophic min-max
+failure stems from feeding raw unnormalized attribute values to the NN;
+this reproduction normalizes every subspace internally, which already
+removes the gradient-saturation pathology, so the min-max ablation trains
+too.  The bench therefore asserts only that every multi-modal encoding
+trains and stays competitive; the contrast is strongest in the low-step
+few-shot regime used here.  The center-affinity channel is disabled so the
+comparison isolates the GMM/JKC encodings themselves (DESIGN.md §6).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (build_lte, eval_rows_for, mean_f1_lte, mode_oracles,
+                         print_matrix)
+from repro.core.uis import UISMode
+
+ENCODINGS = ("gmm", "jkc", "both", "minmax")
+BUDGET = 30
+
+
+@pytest.mark.benchmark(group="fig8a")
+def test_fig8a_gmm_vs_jkc(benchmark, scale, report):
+    def run():
+        table = {}
+        subspace_names = None
+        for mode in ENCODINGS:
+            lte = build_lte("sdss", budget=BUDGET, scale=scale,
+                            preprocessing_mode=mode, center_affinity=False)
+            lte.config.basic_steps = 25  # few-shot regime: encodings matter
+            subspaces = list(lte.states)[:3]  # the paper's D1-D3
+            if subspace_names is None:
+                subspace_names = ["D{}".format(i + 1)
+                                  for i in range(len(subspaces))]
+            eval_rows = eval_rows_for(lte, scale)
+            row = []
+            for i, subspace in enumerate(subspaces):
+                oracles = mode_oracles(lte, [subspace], UISMode(4, 20),
+                                       n_uirs=max(2, scale.n_test_uirs // 2),
+                                       seed=8000 + i)
+                row.append(mean_f1_lte(lte, oracles, eval_rows, "basic",
+                                       subspaces=[subspace]))
+            table[mode] = row
+        return subspace_names, table
+
+    subspace_names, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    with report():
+        print_matrix("Figure 8(a): tabular representations (Basic, B=30)",
+                     list(ENCODINGS), subspace_names,
+                     [table[m] for m in ENCODINGS])
+
+    means = {m: float(np.mean(v)) for m, v in table.items()}
+    # Every multi-modal encoding trains a usable classifier...
+    for name in ("gmm", "jkc", "both"):
+        assert means[name] > 0.3, means
+    # ...and the family is competitive with plain min-max (the paper's
+    # catastrophic min-max failure needs unnormalized inputs; see the
+    # module docstring).
+    assert max(means["gmm"], means["jkc"], means["both"]) \
+        > means["minmax"] - 0.1
+    # The integrated encoding is at least competitive with either alone.
+    assert means["both"] >= min(means["gmm"], means["jkc"]) - 0.05

@@ -1,0 +1,56 @@
+"""Figure 8(c): accuracy vs number of meta-tasks |TM|.
+
+Paper shape: accuracy rises from the smallest task sets, then plateaus
+with mild fluctuation — the 'sweet point' argument for early stopping (the
+paper picks |TM| = 5000 of the sweep {1000..20000}).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import build_lte, print_series
+from repro.core.meta_training import MetaHyperParams, MetaTrainer
+from repro.explore.metrics import f1_score
+
+TASK_COUNTS = (10, 40, 120, 240)
+
+
+def _accuracy_at(lte, n_tasks, n_eval_tasks=8, seed=0):
+    state = lte.states[list(lte.states)[0]]
+    tasks = state.task_generator.generate(n_tasks)
+    held_out = state.task_generator.generate(n_eval_tasks)
+    trainer = MetaTrainer(
+        ku=state.summary.ku, input_width=state.preprocessor.width,
+        params=MetaHyperParams(epochs=1, local_steps=5, pretrain_epochs=2),
+        seed=seed)
+    trainer.train(tasks, state.encode_scaled)
+    scores = []
+    for task in held_out:
+        adapted, _ = trainer.adapt(task.feature_vector,
+                                   state.encode_scaled(task.support_x),
+                                   task.support_y, local_steps=10)
+        pred = adapted.predict(state.encode_scaled(task.query_x))
+        scores.append(f1_score(task.query_y, pred))
+    return float(np.mean(scores))
+
+
+@pytest.mark.benchmark(group="fig8c")
+def test_fig8c_accuracy_vs_task_count(benchmark, scale, report):
+    def run():
+        series = {}
+        for dataset in ("car", "sdss"):
+            lte = build_lte(dataset, budget=30, scale=scale, train=False)
+            series[dataset.upper()] = [
+                _accuracy_at(lte, n) for n in TASK_COUNTS]
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    with report():
+        print_series("Figure 8(c): held-out task F1 vs |TM|", "|TM|",
+                     list(TASK_COUNTS), series)
+
+    for dataset, values in series.items():
+        assert all(0.0 <= v <= 1.0 for v in values)
+        # More tasks should not hurt much: the plateau end stays within
+        # noise of the sweep maximum and above the smallest-task-set score.
+        assert values[-1] >= values[0] - 0.1

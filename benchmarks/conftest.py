@@ -1,0 +1,29 @@
+"""Benchmark-suite fixtures.
+
+Each bench regenerates one table/figure of the paper at the scale selected
+by ``REPRO_SCALE`` (quick | medium | paper; default quick).  Results print
+outside pytest's capture so they land in the terminal / tee output.
+"""
+
+import pytest
+
+from repro.bench import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    s = get_scale()
+    return s
+
+
+@pytest.fixture()
+def report(capsys):
+    """Callable that prints through pytest's capture."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def _report():
+        with capsys.disabled():
+            yield
+
+    return _report

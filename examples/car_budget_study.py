@@ -1,0 +1,80 @@
+"""CAR scenario: how many labels does a bargain-hunter need?
+
+Alice browses a used-car listing database.  She cannot write the filter
+for "a deal that feels right", but she can label examples.  This example
+measures the accuracy different systems squeeze out of small labelling
+budgets on the CAR dataset, and demonstrates that the meta-trained
+variants need visibly fewer labels to reach a target accuracy.
+
+Run:  python examples/car_budget_study.py
+"""
+
+import numpy as np
+
+from repro.bench import subspace_region
+from repro.core import LTE, LTEConfig, UISMode
+from repro.core.meta_training import MetaHyperParams
+from repro.data import make_car
+from repro.explore import ConjunctiveOracle, run_lte_exploration
+
+BUDGETS = (15, 30, 60)
+TARGET_F1 = 0.7
+
+
+def build_system(table, budget):
+    lte = LTE(LTEConfig(budget=budget, n_tasks=60,
+                        meta=MetaHyperParams(epochs=1, local_steps=8)))
+    lte.fit_offline(table)
+    return lte
+
+
+def main():
+    table = make_car(n_rows=20_000, seed=9)
+    print("CAR table: {} rows, attributes {}".format(
+        table.n_rows, ", ".join(table.attribute_names)))
+
+    results = {variant: [] for variant in ("basic", "meta", "meta_star")}
+    for budget in BUDGETS:
+        print("\nTraining offline for budget B={} per subspace...".format(
+            budget))
+        lte = build_system(table, budget)
+        subspaces = list(lte.states)[:2]
+
+        # Alice's taste: one convex region per subspace (e.g. "newish,
+        # moderate mileage" x "mid power, mid displacement").
+        rng = np.random.default_rng(1234)
+        regions = {
+            subspace: subspace_region(lte.states[subspace],
+                                      UISMode(alpha=1, psi=35),
+                                      seed=int(rng.integers(2 ** 31)))
+            for subspace in subspaces
+        }
+        oracle = ConjunctiveOracle(regions)
+        eval_rows = table.sample_rows(5000, seed=2)
+
+        for variant in results:
+            result = run_lte_exploration(lte, oracle, eval_rows,
+                                         variant=variant,
+                                         subspaces=subspaces)
+            results[variant].append(result.f1)
+
+    print("\nF1 by per-subspace label budget:")
+    print("{:<10s} ".format("B") + "".join(
+        "{:>9d}".format(b) for b in BUDGETS))
+    for variant, scores in results.items():
+        print("{:<10s} ".format(variant) + "".join(
+            "{:>9.3f}".format(s) for s in scores))
+
+    for variant, scores in results.items():
+        reached = next((b for b, s in zip(BUDGETS, scores)
+                        if s >= TARGET_F1), None)
+        if reached is None:
+            print("{}: never reaches F1 {} within the sweep".format(
+                variant, TARGET_F1))
+        else:
+            print("{}: reaches F1 {} with B={}".format(
+                variant, TARGET_F1, reached))
+
+
+if __name__ == "__main__":
+    main()

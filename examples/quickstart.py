@@ -1,0 +1,77 @@
+"""Quickstart: explore a synthetic SDSS table with Learn-to-Explore.
+
+Runs the full pipeline of the paper in under a minute:
+
+1. offline (unsupervised): decompose the table into 2-D meta-subspaces,
+   generate synthetic meta-tasks, meta-train one classifier per subspace;
+2. online: a simulated user labels 30 tuples per subspace; the pre-trained
+   meta-learners fast-adapt; the few-shot optimizer polishes the result;
+3. report the F1-score of the inferred user-interest region.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.bench import subspace_region
+from repro.core import LTE, LTEConfig, UISMode
+from repro.core.meta_training import MetaHyperParams
+from repro.data import make_sdss
+from repro.explore import ConjunctiveOracle, run_lte_exploration
+
+
+def main():
+    print("Building a synthetic SDSS table (20K tuples, 8 attributes)...")
+    table = make_sdss(n_rows=20_000, seed=7)
+
+    config = LTEConfig(
+        budget=30,                 # labels the user grants per subspace
+        n_tasks=80,                # meta-tasks per subspace (paper: 5000)
+        meta=MetaHyperParams(epochs=1, local_steps=8),
+    )
+    lte = LTE(config)
+    print("Offline phase: meta-training one learner per 2-D subspace...")
+    lte.fit_offline(table)
+    print("  done in {:.1f}s over {} subspaces".format(
+        lte.offline_seconds_, len(lte.states)))
+
+    # Simulate users whose interest spans the first two subspaces: the
+    # ground truth is a convex region in each, conjoined (a 4-D UIR).
+    # Average over a few random interest regions to smooth draw noise.
+    subspaces = list(lte.states)[:2]
+    rng = np.random.default_rng(42)
+    oracles = []
+    for _ in range(3):
+        regions = {
+            subspace: subspace_region(lte.states[subspace],
+                                      UISMode(alpha=1, psi=40),
+                                      seed=int(rng.integers(2 ** 31)))
+            for subspace in subspaces
+        }
+        oracles.append(ConjunctiveOracle(regions))
+
+    eval_rows = table.sample_rows(5000, seed=1)
+    print("\nOnline phase: {} labels per subspace, fast adaptation "
+          "(mean of {} interest regions)...".format(config.budget,
+                                                    len(oracles)))
+    for variant in ("basic", "meta", "meta_star"):
+        f1s, times = [], []
+        for oracle in oracles:
+            result = run_lte_exploration(lte, oracle, eval_rows,
+                                         variant=variant,
+                                         subspaces=subspaces)
+            f1s.append(result.f1)
+            times.append(result.adapt_seconds)
+        print("  {:<10s} F1 = {:.3f}   (labels per region: {}, online "
+              "adaptation: {:.3f}s)".format(
+                  variant, float(np.mean(f1s)),
+                  len(subspaces) * config.budget, float(np.mean(times))))
+
+    print("\n'meta' matches or beats 'basic' while adapting with a third "
+          "of the gradient\nsteps (the gap widens sharply at small online "
+          "learning rates — see the\nFig. 8(d) benchmark); 'meta_star' "
+          "adds the geometric FP/FN optimizer on top.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — Learn to Explore (LTE): a full reproduction of
+"Learn to Explore: on Bootstrapping Interactive Data Exploration with
+Meta-learning" (Cao, Xie, Huang — ICDE 2023).
+
+Packages
+--------
+``repro.core``
+    The paper's contribution: meta-task generation, the memory-augmented
+    meta-learner, tabular preprocessing, the few-shot optimizer and the
+    public :class:`~repro.core.LTE` framework.
+``repro.nn`` / ``repro.ml`` / ``repro.geometry`` / ``repro.data``
+    Substrates built from scratch: autograd NN engine, classical ML
+    (k-means, GMM, Jenks, SVM), hull/region geometry, synthetic datasets.
+``repro.baselines``
+    AL-SVM and DSM explore-by-example baselines.
+``repro.explore``
+    Oracles, metrics and end-to-end exploration runners.
+``repro.bench``
+    The harness regenerating every table and figure of the paper.
+"""
+
+from .core import LTE, LTEConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["LTE", "LTEConfig", "__version__"]

@@ -1,0 +1,14 @@
+"""Explore-by-example baselines: AL-SVM, DSM, and per-subspace SVM variants."""
+
+from .active_learning import ActiveLearningLoop, seed_labels
+from .aide import AIDEExplorer
+from .al_svm import ALSVMExplorer
+from .dsm import DSMExplorer
+from .dsm_factorized import FactorizedDSMExplorer
+from .svm_variants import SubspaceSVMExplorer
+
+__all__ = [
+    "ActiveLearningLoop", "seed_labels",
+    "AIDEExplorer", "ALSVMExplorer", "DSMExplorer",
+    "FactorizedDSMExplorer", "SubspaceSVMExplorer",
+]

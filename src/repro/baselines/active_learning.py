@@ -1,0 +1,86 @@
+"""Pool-based active learning (the baselines' interaction loop).
+
+Both AIDE-style AL-SVM and DSM iterate: fit a model on the labelled set,
+pick the pool tuple the model is least certain about, ask the user for its
+label, repeat until the budget is spent.  The initial seed labels come from
+query-agnostic random sampling (the paper notes this initial-sampling cost
+is *not counted* in the baselines' budgets, Section VIII-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ActiveLearningLoop", "seed_labels"]
+
+
+def seed_labels(pool, label_fn, rng, max_probes=1000):
+    """Random probing until both classes appear (or probes run out).
+
+    Returns ``(indices, labels)`` of the probed pool rows.  The probes are
+    "free" (query-agnostic sampling, paper ref. [63]).
+    """
+    n = len(pool)
+    order = rng.permutation(n)[:min(max_probes, n)]
+    labels = label_fn(pool[order])
+    found_pos = np.flatnonzero(labels == 1)
+    found_neg = np.flatnonzero(labels == 0)
+    if len(found_pos) == 0 or len(found_neg) == 0:
+        # Single-class sample: hand back whatever was probed (capped).
+        take = order[:min(4, len(order))]
+        return take, labels[:len(take)]
+    take = np.concatenate([found_pos[:2], found_neg[:2]])
+    return order[take], labels[take]
+
+
+class ActiveLearningLoop:
+    """Generic uncertainty-driven labelling loop.
+
+    Parameters
+    ----------
+    model:
+        Object with ``fit(X, y)`` and ``uncertainty(X) -> (n,)`` where
+        *smaller* means more uncertain (e.g. |SVM margin|).
+    pool:
+        (n x d) candidate tuples the learner may ask about.
+    label_fn:
+        Callable (k x d) -> 0/1 labels; each call spends budget.
+    budget:
+        Total number of labels the loop may request.
+    """
+
+    def __init__(self, model, pool, label_fn, budget, seed=0):
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.model = model
+        self.pool = np.atleast_2d(np.asarray(pool, dtype=np.float64))
+        self.label_fn = label_fn
+        self.budget = int(budget)
+        self.rng = np.random.default_rng(seed)
+        self.labelled_x = None
+        self.labelled_y = None
+
+    def run(self):
+        """Execute the loop; returns the fitted model."""
+        seed_idx, seed_y = seed_labels(self.pool, self.label_fn, self.rng)
+        available = np.ones(len(self.pool), dtype=bool)
+        available[seed_idx] = False
+        xs = list(self.pool[seed_idx])
+        ys = list(seed_y)
+
+        spent = 0
+        while spent < self.budget and available.any():
+            self.model.fit(np.asarray(xs), np.asarray(ys))
+            candidates = np.flatnonzero(available)
+            scores = self.model.uncertainty(self.pool[candidates])
+            pick = candidates[int(np.argmin(scores))]
+            label = self.label_fn(self.pool[pick][None, :])[0]
+            xs.append(self.pool[pick])
+            ys.append(label)
+            available[pick] = False
+            spent += 1
+
+        self.labelled_x = np.asarray(xs)
+        self.labelled_y = np.asarray(ys)
+        self.model.fit(self.labelled_x, self.labelled_y)
+        return self.model

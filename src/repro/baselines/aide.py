@@ -1,0 +1,87 @@
+"""AIDE baseline: decision-tree explore-by-example (Dimitriadou et al.).
+
+AIDE (Table I of the paper) models the user-interest region with a
+decision-tree classifier under active learning; its linear (axis-aligned)
+region representation is the weakest of the lineage, which is why the
+paper's comparisons focus on its SVM successor — we include it for
+completeness of the evolution table.
+
+Selection rule: AIDE samples around the boundaries of the tree's relevant
+regions; with the shared :class:`ActiveLearningLoop` this is realized by
+treating leaf-probability closeness to 0.5 (impure leaves) as uncertainty,
+with a small distance bonus toward the relevant-region boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.decision_tree import DecisionTree
+from ..ml.scaler import MinMaxScaler
+from .active_learning import ActiveLearningLoop
+
+__all__ = ["AIDEExplorer"]
+
+
+class _UncertainTree(DecisionTree):
+    """Decision tree exposing the uncertainty used by active learning."""
+
+    def uncertainty(self, features):
+        return np.abs(self.predict_proba(features) - 0.5)
+
+
+class AIDEExplorer:
+    """Full-space AIDE baseline.
+
+    Parameters
+    ----------
+    budget:
+        Number of user labels (full-space tuples).
+    max_depth:
+        Decision-tree depth cap (controls region granularity).
+    """
+
+    def __init__(self, budget=30, max_depth=6, pool_size=2000, seed=0):
+        self.budget = int(budget)
+        self.max_depth = int(max_depth)
+        self.pool_size = int(pool_size)
+        self.seed = seed
+        self.scaler = None
+        self.model = None
+        self.labels_used_ = 0
+
+    def explore(self, rows, label_fn):
+        """Run the exploration on raw full-space ``rows``."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        self.scaler = MinMaxScaler().fit(rows)
+        scaled = self.scaler.transform(rows)
+        rng = np.random.default_rng(self.seed)
+        pool_idx = rng.choice(len(scaled),
+                              size=min(self.pool_size, len(scaled)),
+                              replace=False)
+
+        def scaled_label_fn(points):
+            return label_fn(self.scaler.inverse_transform(points))
+
+        model = _UncertainTree(max_depth=self.max_depth)
+        loop = ActiveLearningLoop(model, scaled[pool_idx], scaled_label_fn,
+                                  budget=self.budget, seed=self.seed)
+        self.model = loop.run()
+        self.labels_used_ = self.budget
+        return self
+
+    def predict(self, rows):
+        """0/1 UIR membership for raw full-space rows."""
+        if self.model is None:
+            raise RuntimeError("explore must run before predict")
+        return self.model.predict(self.scaler.transform(np.atleast_2d(rows)))
+
+    def relevant_boxes(self):
+        """The tree's positive regions as raw-coordinate boxes."""
+        if self.model is None:
+            raise RuntimeError("explore must run before relevant_boxes")
+        boxes = self.model.positive_boxes(
+            np.zeros(self.scaler.min_.size), np.ones(self.scaler.min_.size))
+        return [(self.scaler.inverse_transform(lo[None, :])[0],
+                 self.scaler.inverse_transform(hi[None, :])[0])
+                for lo, hi in boxes]

@@ -1,0 +1,81 @@
+"""Per-subspace SVM variants for the generalized-UIR comparison.
+
+Section VIII-C feeds every competitor the *same* initial tuple set LTE
+labels (the C_s centers + delta random tuples per subspace) and compares:
+
+* **SVM**  — per-subspace RBF SVM on min-max scaled raw coordinates;
+* **SVMr** — the same SVM on LTE's tabular-preprocessed representation
+  vectors (isolating the benefit of the preprocessing);
+
+predictions combine conjunctively across subspaces, like LTE's.  DSM is not
+run here because with non-convex UISs it degenerates into SVM (paper
+Section VIII-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.scaler import MinMaxScaler
+from ..ml.svm import SVC
+
+__all__ = ["SubspaceSVMExplorer"]
+
+
+class SubspaceSVMExplorer:
+    """Conjunctive per-subspace SVM trained on a fixed labelled set.
+
+    Parameters
+    ----------
+    states:
+        ``{Subspace: SubspaceState}`` — the LTE offline artifacts (reused
+        for the preprocessors and the initial-tuple construction, so all
+        competitors see identical training data).
+    encoded:
+        True for SVMr (tabular-preprocessed features), False for plain SVM.
+    """
+
+    def __init__(self, states, encoded=False, C=10.0, gamma=None, seed=0):
+        if not states:
+            raise ValueError("need at least one subspace state")
+        self.states = dict(states)
+        self.encoded = bool(encoded)
+        self.C = C
+        self.gamma = gamma
+        self.seed = seed
+        self._models = {}
+        self._scalers = {}
+
+    # ------------------------------------------------------------------
+    def fit_subspace(self, subspace, tuples, labels):
+        """Train one subspace's SVM on raw tuples + 0/1 labels."""
+        features = self._featurize(subspace, tuples)
+        model = SVC(C=self.C, kernel="rbf", gamma=self.gamma, seed=self.seed)
+        model.fit(features, labels)
+        self._models[subspace] = model
+        return model
+
+    def _featurize(self, subspace, points):
+        state = self.states[subspace]
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if self.encoded:
+            return state.encode(points)
+        # Plain SVM variant: min-max scaled raw coordinates (the state's
+        # subspace scaler).
+        return state.to_scaled(points)
+
+    # ------------------------------------------------------------------
+    def predict_subspace(self, subspace, points):
+        if subspace not in self._models:
+            raise RuntimeError("subspace {} not fitted".format(subspace))
+        return self._models[subspace].predict(
+            self._featurize(subspace, points))
+
+    def predict(self, rows):
+        """Conjunctive 0/1 UIR membership over all fitted subspaces."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        result = np.ones(len(rows), dtype=np.int64)
+        for subspace, model in self._models.items():
+            projected = subspace.project(rows)
+            result &= model.predict(self._featurize(subspace, projected))
+        return result

@@ -1,0 +1,153 @@
+"""Experiment runner + table printer for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures by printing
+the same rows/series; these helpers run the competitors over a batch of
+ground-truth UIRs and aggregate F1 / time / budget statistics.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..baselines.aide import AIDEExplorer
+from ..baselines.al_svm import ALSVMExplorer
+from ..baselines.dsm import DSMExplorer
+from ..baselines.svm_variants import SubspaceSVMExplorer
+from ..explore.metrics import f1_score
+from ..explore.session import run_lte_exploration
+
+__all__ = ["print_series", "print_matrix", "mean_f1_lte", "mean_f1_baseline",
+           "mean_f1_subspace_svm", "budget_to_reach", "online_times"]
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def print_series(title, x_label, xs, series):
+    """Print an x vs many-series table (one paper figure panel)."""
+    print("\n== {} ==".format(title))
+    header = [x_label] + list(series)
+    widths = [max(10, len(h) + 2) for h in header]
+    print("".join(h.ljust(w) for h, w in zip(header, widths)))
+    for i, x in enumerate(xs):
+        row = [str(x)]
+        for name in series:
+            value = series[name][i]
+            row.append("{:.3f}".format(value) if value is not None else "-")
+        print("".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def print_matrix(title, row_names, col_names, values):
+    """Print a row x column matrix (e.g. Table II)."""
+    print("\n== {} ==".format(title))
+    widths = [12] + [max(8, len(c) + 2) for c in col_names]
+    print("".join(h.ljust(w) for h, w in zip([""] + list(col_names), widths)))
+    for name, row in zip(row_names, values):
+        cells = [name] + ["{:.3f}".format(v) for v in row]
+        print("".join(c.ljust(w) for c, w in zip(cells, widths)))
+
+
+# ----------------------------------------------------------------------
+# Competitor runners (mean F1 over a batch of test UIRs)
+# ----------------------------------------------------------------------
+def mean_f1_lte(lte, oracles, eval_rows, variant, subspaces=None, seed=None):
+    """Mean F1 of an LTE variant over ground-truth oracles."""
+    scores = []
+    for i, oracle in enumerate(oracles):
+        result = run_lte_exploration(
+            lte, oracle, eval_rows, variant=variant,
+            subspaces=subspaces or list(oracle.subspace_regions),
+            seed=None if seed is None else seed + i)
+        scores.append(result.f1)
+    return float(np.mean(scores))
+
+
+def mean_f1_baseline(kind, rows, oracles, eval_rows, budget, pool_size=1500,
+                     seed=0):
+    """Mean F1 of a full-space baseline ('dsm' or 'al_svm').
+
+    ``rows`` must be restricted to the user-interest space columns (the
+    baselines operate directly on the full user space).
+    """
+    factory = {"dsm": DSMExplorer, "al_svm": ALSVMExplorer,
+               "aide": AIDEExplorer}[kind]
+    scores = []
+    for i, (oracle, project) in enumerate(oracles):
+        explorer = factory(budget=budget, pool_size=pool_size, seed=seed + i)
+        explorer.explore(rows, lambda pts: oracle.ground_truth(project(pts)))
+        predictions = explorer.predict(eval_rows)
+        truth = oracle.ground_truth(project(eval_rows))
+        scores.append(f1_score(truth, predictions))
+    return float(np.mean(scores))
+
+
+def baseline_oracle_pairs(oracles, subspaces):
+    """Adapt conjunctive oracles to a baseline's user-space row layout.
+
+    Baselines see rows laid out as the concatenation of the chosen
+    subspaces' columns (the user-interest space); this returns
+    ``(oracle, project)`` pairs where ``project`` maps user-space rows back
+    to full-table layout for the oracle.
+    """
+    pairs = []
+    # Build the reverse map: user-space column j -> full-table column.
+    columns = [c for s in subspaces for c in s.columns]
+    n_full = max(columns) + 1
+
+    def make_project(cols):
+        def project(points):
+            points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+            rows = np.zeros((len(points), n_full))
+            rows[:, cols] = points
+            return rows
+        return project
+
+    project = make_project(columns)
+    for oracle in oracles:
+        pairs.append((oracle, project))
+    return pairs
+
+
+def mean_f1_subspace_svm(lte, oracles, eval_rows, subspaces, encoded,
+                         seed=0):
+    """Mean F1 of the SVM / SVMr competitors on LTE's initial tuples."""
+    scores = []
+    for i, oracle in enumerate(oracles):
+        session = lte.start_session(variant="basic", subspaces=subspaces,
+                                    seed=(seed or 0) + i)
+        explorer = SubspaceSVMExplorer(
+            {s: lte.states[s] for s in subspaces}, encoded=encoded,
+            seed=seed + i)
+        for subspace, tuples in session.initial_tuples().items():
+            labels = oracle.label_subspace(subspace, tuples)
+            explorer.fit_subspace(subspace, tuples, labels)
+        predictions = explorer.predict(eval_rows)
+        truth = oracle.ground_truth(eval_rows)
+        scores.append(f1_score(truth, predictions))
+    return float(np.mean(scores))
+
+
+# ----------------------------------------------------------------------
+# Efficiency helpers
+# ----------------------------------------------------------------------
+def budget_to_reach(f1_at_budget, target):
+    """Smallest budget whose mean F1 reaches ``target`` (None if never).
+
+    ``f1_at_budget`` is a {budget: f1} mapping.
+    """
+    for budget in sorted(f1_at_budget):
+        if f1_at_budget[budget] >= target:
+            return budget
+    return None
+
+
+def online_times(run_once, repeats=3):
+    """Mean wall-clock seconds of ``run_once()`` over ``repeats`` runs."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_once()
+        samples.append(time.perf_counter() - start)
+    return float(np.mean(samples))

@@ -1,0 +1,565 @@
+"""The Learn-to-Explore framework: offline training + online exploration.
+
+Public entry point of the library (paper Section III-B, Figure 2)::
+
+    from repro.core import LTE, LTEConfig
+    from repro.data import make_sdss
+
+    table = make_sdss()
+    lte = LTE(LTEConfig(budget=30, n_tasks=300))
+    lte.fit_offline(table)                       # unsupervised pre-training
+
+    session = lte.start_session(variant="meta_star")
+    for subspace, tuples in session.initial_tuples().items():
+        session.submit_labels(subspace, oracle.label(subspace, tuples))
+    interesting = session.predict(table.data)    # UIR membership
+
+Three variants mirror the paper's competitors:
+
+* ``basic`` — the UIS classifier with tabular preprocessing, trained online
+  from random initialization;
+* ``meta``  — meta-learned initialization + memories, fast adaptation;
+* ``meta_star`` — ``meta`` plus the few-shot FP/FN optimizer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.sampling import random_sample
+from ..data.subspaces import Subspace, random_decomposition
+from ..ml.scaler import MinMaxScaler
+from ..nn import Adam
+from ..nn.functional import (balanced_pos_weight,
+                             binary_cross_entropy_with_logits)
+from .meta_learner import UISClassifier
+from .meta_task import MetaTaskGenerator, uis_feature_vector
+from .meta_training import AdaptedClassifier, MetaHyperParams, MetaTrainer
+from .optimizer import FewShotOptimizer
+from .preprocessing import TabularPreprocessor
+from .uis import UISMode
+
+__all__ = ["LTEConfig", "LTE", "ExplorationSession", "SubspaceState",
+           "VARIANTS"]
+
+VARIANTS = ("basic", "meta", "meta_star")
+
+
+@dataclass
+class LTEConfig:
+    """Framework configuration (paper defaults, Section VIII-A)."""
+
+    # clustering / meta-task generation
+    ku: int = 100
+    kq: int = 200
+    delta: int = 5
+    budget: int = 30                 # labels per subspace; ks = budget - delta
+    task_mode: UISMode = field(default_factory=lambda: UISMode(4, 20))
+    n_tasks: int = 200               # |T^M| per meta-subspace (paper: 5000)
+    cluster_sample_ratio: float = 0.01
+    # preprocessing
+    preprocessing_mode: str = "auto"
+    n_components: int = 8
+    preprocessing_sample_ratio: float = 0.01
+    center_affinity: bool = True     # RBF-affinity channel (DESIGN.md §6)
+    # classifier
+    embed_size: int = 100
+    hidden_size: int = 64
+    # meta training
+    meta: MetaHyperParams = field(default_factory=MetaHyperParams)
+    use_memories: bool = True
+    # online phase (the paper's local step sizes are 5-30)
+    online_steps: int = 30
+    online_lr: float = 0.01
+    basic_steps: int = 100
+    basic_lr: float = 0.01
+    # few-shot optimizer (Meta*); the paper searches Nsup in 20-40% and
+    # Nsub in 5-15% of ku — the conservative end of Nsub works best with
+    # normalized subspaces.
+    n_sup_ratio: float = 0.3
+    n_sub_ratio: float = 0.05
+    # decomposition
+    subspace_dim: int = 2
+    seed: int = 7
+
+    @property
+    def ks(self):
+        ks = self.budget - self.delta
+        if ks < 1:
+            raise ValueError("budget must exceed delta")
+        return ks
+
+
+class SubspaceState:
+    """Offline artifacts of one meta-subspace.
+
+    The subspace is normalized internally: ``scaler`` maps raw attribute
+    values to the unit cube, and ``data``, the cluster summary, meta-tasks
+    and every geometric structure live in that normalized space.  Raw
+    coordinates appear only at the public API boundary.
+    """
+
+    def __init__(self, subspace, data, scaler, preprocessor, task_generator,
+                 trainer):
+        self.subspace = subspace
+        self.data = data                       # (n x d) normalized projection
+        self.scaler = scaler                   # raw <-> normalized
+        self.preprocessor = preprocessor
+        self.task_generator = task_generator   # holds the ClusterSummary
+        self.trainer = trainer                 # None until meta-trained
+
+    @property
+    def summary(self):
+        return self.task_generator.summary
+
+    def encode(self, raw_points):
+        """Raw subspace tuples -> representation vectors."""
+        return self.encode_scaled(self.scaler.transform(raw_points))
+
+    def encode_scaled(self, scaled_points):
+        """Normalized subspace tuples -> representation vectors."""
+        return self.preprocessor.transform(scaled_points)
+
+    def to_raw(self, scaled_points):
+        return self.scaler.inverse_transform(scaled_points)
+
+    def to_scaled(self, raw_points):
+        return self.scaler.transform(raw_points)
+
+
+class LTE:
+    """Learn-to-Explore: pre-trains per-meta-subspace meta-learners."""
+
+    def __init__(self, config=None):
+        self.config = config or LTEConfig()
+        self.table = None
+        self.states = {}   # Subspace -> SubspaceState
+        self.offline_seconds_ = None
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+    def fit_offline(self, table, subspaces=None, train=True, progress=None):
+        """Run the full offline phase on an exploratory table.
+
+        Parameters
+        ----------
+        table:
+            A :class:`~repro.data.schema.Table`.
+        subspaces:
+            Optional explicit meta-subspace list; default: random
+            decomposition into ``config.subspace_dim``-D groups.
+        train:
+            When False, stop after preprocessing + meta-task generation
+            (used by benches that time the stages separately).
+        progress:
+            Optional callback ``(subspace, stage)``.
+        """
+        cfg = self.config
+        self.table = table
+        if subspaces is None:
+            subspaces = random_decomposition(table, dim=cfg.subspace_dim,
+                                             seed=cfg.seed)
+        start = time.perf_counter()
+        for i, subspace in enumerate(subspaces):
+            state = self._prepare_subspace(table, subspace, index=i)
+            self.states[subspace] = state
+            if progress is not None:
+                progress(subspace, "prepared")
+            if train:
+                self.train_subspace(subspace)
+                if progress is not None:
+                    progress(subspace, "trained")
+        self.offline_seconds_ = time.perf_counter() - start
+        return self
+
+    def _prepare_subspace(self, table, subspace, index=0):
+        cfg = self.config
+        raw = subspace.project(table.data)
+        scaler = MinMaxScaler().fit(raw)
+        data = scaler.transform(raw)
+        attributes = [table.attribute(name) for name in subspace.names]
+        preprocessor = TabularPreprocessor(
+            attributes, mode=cfg.preprocessing_mode,
+            n_components=cfg.n_components,
+            sample_ratio=cfg.preprocessing_sample_ratio,
+            seed=cfg.seed + index).fit(data)
+        generator = MetaTaskGenerator(
+            data, ku=cfg.ku, ks=cfg.ks, kq=cfg.kq, mode=cfg.task_mode,
+            delta=cfg.delta, sample_ratio=cfg.cluster_sample_ratio,
+            seed=cfg.seed + 1000 + index)
+        if cfg.center_affinity:
+            preprocessor.attach_centers(generator.summary.centers_u)
+        state = SubspaceState(subspace, data, scaler, preprocessor, generator,
+                              None)
+        state.quantization_baseline = self._quantization_error(
+            state, data, seed=cfg.seed)
+        return state
+
+    @staticmethod
+    def _quantization_error(state, scaled_points, sample=500, seed=0):
+        """Mean nearest-C_u-center distance of a sample — the clustering
+        fit statistic used by drift detection."""
+        from ..ml.kmeans import pairwise_distances
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(scaled_points),
+                         size=min(sample, len(scaled_points)), replace=False)
+        dist = pairwise_distances(scaled_points[idx],
+                                  state.summary.centers_u)
+        return float(dist.min(axis=1).mean())
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance (paper Section V-E): when the data distribution
+    # of a meta-subspace changes, its sampled cluster summary — and hence
+    # its meta-tasks and meta-learner — go stale.
+    # ------------------------------------------------------------------
+    def drift_scores(self, table, seed=0):
+        """Relative clustering-fit degradation per subspace on new data.
+
+        Returns ``{subspace: score}`` where 0 means the existing cluster
+        summary quantizes the new data as well as the training data and
+        e.g. 0.5 means 50% higher quantization error — a practical trigger
+        for :meth:`refresh_subspace`.
+        """
+        scores = {}
+        for subspace, state in self.states.items():
+            raw = subspace.project(table.data)
+            scaled = state.to_scaled(raw)
+            error = self._quantization_error(state, scaled, seed=seed)
+            baseline = max(state.quantization_baseline, 1e-12)
+            scores[subspace] = error / baseline - 1.0
+        return scores
+
+    def refresh_subspace(self, table, subspace, train=True):
+        """Rebuild one subspace's summary/preprocessor/meta-learner after
+        a distribution change."""
+        index = list(self.states).index(subspace)
+        state = self._prepare_subspace(table, subspace, index=index)
+        self.states[subspace] = state
+        if train:
+            self.train_subspace(subspace)
+        return state
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path):
+        """Pickle the trained system (table reference included)."""
+        import pickle
+        with open(path, "wb") as fh:
+            pickle.dump(self, fh)
+
+    @staticmethod
+    def load(path):
+        import pickle
+        with open(path, "rb") as fh:
+            system = pickle.load(fh)
+        if not isinstance(system, LTE):
+            raise TypeError("{} does not contain a saved LTE system"
+                            .format(path))
+        return system
+
+    def train_subspace(self, subspace, n_tasks=None, epochs=None):
+        """Generate meta-tasks and meta-train the subspace's learner."""
+        cfg = self.config
+        state = self.states[subspace]
+        tasks = state.task_generator.generate(n_tasks or cfg.n_tasks)
+        trainer = MetaTrainer(
+            ku=state.summary.ku, input_width=state.preprocessor.width,
+            embed_size=cfg.embed_size, hidden_size=cfg.hidden_size,
+            params=cfg.meta, use_memories=cfg.use_memories, seed=cfg.seed)
+        trainer.train(tasks, state.encode_scaled, epochs=epochs)
+        state.trainer = trainer
+        return trainer
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+    def start_session(self, variant="meta_star", subspaces=None, seed=None):
+        """Open an online exploration session.
+
+        Parameters
+        ----------
+        variant:
+            ``"basic"``, ``"meta"`` or ``"meta_star"``.
+        subspaces:
+            Restrict the session to these subspaces (default: all trained
+            meta-subspaces — the user-interest space equals the full space).
+        """
+        if variant not in VARIANTS:
+            raise ValueError("unknown variant {!r}; options: {}".format(
+                variant, VARIANTS))
+        if not self.states:
+            raise RuntimeError("fit_offline must run before start_session")
+        chosen = subspaces or list(self.states)
+        missing = [s for s in chosen if s not in self.states]
+        if missing:
+            raise KeyError("no offline state for subspaces: {}".format(missing))
+        return ExplorationSession(self, chosen, variant,
+                                  seed=self.config.seed if seed is None
+                                  else seed)
+
+
+class _SubspaceSession:
+    """Online state of one subspace inside a session."""
+
+    def __init__(self, state, variant, config, seed):
+        self.state = state
+        self.variant = variant
+        self.config = config
+        rng = np.random.default_rng(seed)
+        extras = random_sample(state.data, config.delta,
+                               seed=int(rng.integers(2 ** 31)))
+        centers = state.summary.centers_s
+        self._initial_scaled = np.vstack([centers, extras]) if config.delta \
+            else centers
+        # Raw coordinates at the user-facing boundary.
+        self.initial_x = state.to_raw(self._initial_scaled)
+        self.labels = None
+        self.adapted = None
+        self.optimizer = None
+        self.adapt_seconds = None
+        self.extra_x = None   # iterative-exploration labels (beyond initial)
+        self.extra_y = None
+
+    # ------------------------------------------------------------------
+    def submit_labels(self, labels):
+        cfg = self.config
+        state = self.state
+        labels = np.asarray(labels).ravel().astype(np.int64)
+        if labels.size != len(self.initial_x):
+            raise ValueError("expected {} labels, got {}".format(
+                len(self.initial_x), labels.size))
+        self.labels = labels
+        encoded = state.encode_scaled(self._initial_scaled)
+        center_bits = labels[:state.summary.ks]
+        feature = uis_feature_vector(center_bits, state.summary)
+
+        start = time.perf_counter()
+        if self.variant == "basic":
+            self.adapted = self._train_basic(feature, encoded, labels)
+        else:
+            if state.trainer is None:
+                raise RuntimeError(
+                    "subspace {} has no trained meta-learner".format(
+                        state.subspace))
+            self.adapted, _ = state.trainer.adapt(
+                feature, encoded, labels,
+                local_steps=cfg.online_steps, local_lr=cfg.online_lr)
+        if self.variant == "meta_star":
+            self.optimizer = FewShotOptimizer(
+                state.summary, n_sup_ratio=cfg.n_sup_ratio,
+                n_sub_ratio=cfg.n_sub_ratio).fit(center_bits)
+        self.adapt_seconds = time.perf_counter() - start
+
+    def _train_basic(self, feature, encoded, labels):
+        cfg = self.config
+        model = UISClassifier(
+            ku=self.state.summary.ku, input_width=self.state.preprocessor.width,
+            embed_size=cfg.embed_size, hidden_size=cfg.hidden_size,
+            use_conversion=False, seed=cfg.seed)
+        optimizer = Adam(model.parameters(), lr=cfg.basic_lr)
+        targets = labels.astype(np.float64)
+        pos_weight = balanced_pos_weight(targets) \
+            if cfg.meta.balance_classes else None
+        for _ in range(cfg.basic_steps):
+            optimizer.zero_grad()
+            logits = model.forward(feature, encoded)
+            loss = binary_cross_entropy_with_logits(logits, targets,
+                                                    pos_weight=pos_weight)
+            loss.backward()
+            optimizer.step()
+        return AdaptedClassifier(model, feature)
+
+    # ------------------------------------------------------------------
+    # Iterative exploration (paper Section III-B, "Other IDE Modules"):
+    # additional labelled tuples from further rounds — e.g. picked by
+    # active learning — re-adapt the learner from the meta initialization.
+    # ------------------------------------------------------------------
+    def add_labels(self, tuples, labels):
+        if self.labels is None:
+            raise RuntimeError("submit the initial labels first")
+        tuples = np.atleast_2d(np.asarray(tuples, dtype=np.float64))
+        labels = np.asarray(labels).ravel().astype(np.int64)
+        if len(tuples) != len(labels):
+            raise ValueError("tuples/labels length mismatch")
+        if self.extra_x is None:
+            self.extra_x, self.extra_y = tuples, labels
+        else:
+            self.extra_x = np.vstack([self.extra_x, tuples])
+            self.extra_y = np.concatenate([self.extra_y, labels])
+        all_x = np.vstack([self.initial_x, self.extra_x])
+        all_y = np.concatenate([self.labels, self.extra_y])
+        cfg = self.config
+        state = self.state
+        encoded = state.encode(all_x)
+        feature = self.adapted.feature_vector
+        if self.variant == "basic":
+            self.adapted = self._train_basic(feature, encoded,
+                                             all_y)
+        else:
+            self.adapted, _ = state.trainer.adapt(
+                feature, encoded, all_y,
+                local_steps=cfg.online_steps, local_lr=cfg.online_lr)
+
+    def most_uncertain(self, candidates, k=1):
+        """Indices of the k candidates nearest the decision boundary."""
+        if self.adapted is None:
+            raise RuntimeError("labels not yet submitted for subspace {}"
+                               .format(self.state.subspace))
+        candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+        proba = self.adapted.predict_proba(self.state.encode(candidates))
+        return np.argsort(np.abs(proba - 0.5))[:k]
+
+    # ------------------------------------------------------------------
+    def predict(self, raw_points):
+        if self.adapted is None:
+            raise RuntimeError("labels not yet submitted for subspace {}"
+                               .format(self.state.subspace))
+        raw_points = np.atleast_2d(np.asarray(raw_points, dtype=np.float64))
+        scaled = self.state.to_scaled(raw_points)
+        predictions = self.adapted.predict(
+            self.state.encode_scaled(scaled))
+        if self.optimizer is not None:
+            # The optimizer's hull geometry lives in normalized space.
+            predictions = self.optimizer.refine(scaled, predictions)
+        return predictions
+
+
+class ExplorationSession:
+    """An online explore-by-example session over trained meta-subspaces."""
+
+    def __init__(self, lte, subspaces, variant, seed=7):
+        self.lte = lte
+        self.variant = variant
+        self._subsessions = {}
+        for i, subspace in enumerate(subspaces):
+            self._subsessions[subspace] = _SubspaceSession(
+                lte.states[subspace], variant, lte.config, seed=seed + i)
+
+    @property
+    def subspaces(self):
+        return list(self._subsessions)
+
+    # ------------------------------------------------------------------
+    def initial_tuples(self):
+        """{subspace: (n x d) raw tuples} the user must label (budget each)."""
+        return {s: ss.initial_x for s, ss in self._subsessions.items()}
+
+    def submit_labels(self, subspace, labels):
+        """Feed the user's 0/1 labels for one subspace's initial tuples."""
+        self._subsessions[subspace].submit_labels(labels)
+
+    def submit_all_labels(self, labels_by_subspace):
+        for subspace, labels in labels_by_subspace.items():
+            self.submit_labels(subspace, labels)
+
+    @property
+    def total_budget(self):
+        """Total number of labels the session requests from the user."""
+        return sum(len(ss.initial_x) for ss in self._subsessions.values())
+
+    @property
+    def adapt_seconds(self):
+        """Total online adaptation time across subspaces (None before labels)."""
+        times = [ss.adapt_seconds for ss in self._subsessions.values()]
+        if any(t is None for t in times):
+            return None
+        return float(sum(times))
+
+    # ------------------------------------------------------------------
+    # Iterative exploration plug-in
+    # ------------------------------------------------------------------
+    def add_labels(self, subspace, tuples, labels):
+        """Feed further labelled tuples (active-learning rounds) and
+        re-adapt the subspace's learner."""
+        self._subsessions[subspace].add_labels(tuples, labels)
+
+    def most_uncertain(self, subspace, candidates, k=1):
+        """Candidate indices the current learner is least certain about —
+        the selection rule explore-by-example active learning uses."""
+        return self._subsessions[subspace].most_uncertain(candidates, k=k)
+
+    # ------------------------------------------------------------------
+    # Convergence indicator (paper Section III-B: "our framework can
+    # incorporate additional indicators, like the three-set metric in
+    # DSM, for supporting the determination of exploration convergence").
+    # ------------------------------------------------------------------
+    def convergence_estimate(self, subspace, sample_rows=500, seed=0):
+        """Three-set-style resolved fraction for one subspace.
+
+        A sampled point is *resolved* when the geometric side-structures
+        and the classifier agree on it: inside the conservative
+        inner-subregion (certainly interesting), outside the generous
+        outer-subregion (certainly not), or classified consistently with
+        the region it falls in.  The unresolved remainder approximates the
+        region boundary still in question; exploration can stop when the
+        estimate is high enough.  Requires the ``meta_star`` variant
+        (the only one that builds the subregions).
+        """
+        subsession = self._subsessions[subspace]
+        if subsession.optimizer is None:
+            raise RuntimeError(
+                "convergence_estimate needs the meta_star variant")
+        state = subsession.state
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(state.data),
+                         size=min(sample_rows, len(state.data)),
+                         replace=False)
+        scaled = state.data[idx]
+        optimizer = subsession.optimizer
+        inner = optimizer.inner_region.contains(scaled) \
+            if optimizer.inner_region is not None \
+            else np.zeros(len(scaled), dtype=bool)
+        outer = optimizer.outer_region.contains(scaled) \
+            if optimizer.outer_region is not None \
+            else np.ones(len(scaled), dtype=bool)
+        preds = subsession.adapted.predict(state.encode_scaled(scaled))
+        resolved = inner | ~outer \
+            | ((preds == 1) & inner) | ((preds == 0) & ~outer)
+        # Points in the middle band whose classification is confident
+        # (probability far from 0.5) also count as resolved.
+        proba = subsession.adapted.predict_proba(state.encode_scaled(scaled))
+        confident = np.abs(proba - 0.5) > 0.4
+        resolved |= confident
+        return float(np.mean(resolved))
+
+    # ------------------------------------------------------------------
+    # Final retrieval (paper Section III-B: "an IDE system returns a
+    # sampled (or complete) set of user interest tuples").
+    # ------------------------------------------------------------------
+    def retrieve(self, rows=None, limit=None):
+        """Rows of the explored table predicted interesting.
+
+        Parameters
+        ----------
+        rows:
+            Candidate rows; default: the full exploratory table.
+        limit:
+            Optional cap on the number of returned rows.
+        """
+        if rows is None:
+            rows = self.lte.table.data
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        mask = self.predict(rows) == 1
+        result = rows[mask]
+        if limit is not None:
+            result = result[:int(limit)]
+        return result
+
+    # ------------------------------------------------------------------
+    def predict_subspace(self, subspace, raw_points):
+        """0/1 UIS membership for points given in subspace coordinates."""
+        return self._subsessions[subspace].predict(raw_points)
+
+    def predict(self, rows):
+        """0/1 UIR membership for full-space rows (conjunctive combination)."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        result = np.ones(len(rows), dtype=np.int64)
+        for subspace, subsession in self._subsessions.items():
+            projected = subspace.project(rows)
+            result &= subsession.predict(projected)
+        return result

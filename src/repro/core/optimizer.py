@@ -1,0 +1,107 @@
+"""Few-shot prediction optimizer (paper Section VII-B).
+
+With only a handful of labels, a classifier makes two systematic error
+types, each fixed by a geometric side-structure built from the positively
+labelled cluster centers:
+
+* **false positives** — far from every labelled tuple the classifier's
+  output is essentially random.  The *outer-subregion* is a generous union
+  of convex hulls around each positive anchor (its ``n_sup`` nearest C_u
+  centers); predictions outside it are demoted to negative.
+* **false negatives** — small spurious "holes" inside the true region.  The
+  *inner-subregion* uses a conservative expansion (``n_sub`` << ``n_sup``);
+  predictions inside it are promoted to positive.
+
+The optimizer layers strictly on top of a meta-learner's prediction
+(Meta* = Meta + optimizer) and cannot be used alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.convex_hull import Hull
+from ..geometry.regions import UnionRegion
+
+__all__ = ["FewShotOptimizer"]
+
+
+class FewShotOptimizer:
+    """Builds outer/inner subregions and polishes few-shot predictions.
+
+    Parameters
+    ----------
+    summary:
+        The meta-subspace :class:`~repro.core.meta_task.ClusterSummary`
+        (provides C_s, C_u and the proximity matrix P_s).
+    n_sup_ratio:
+        Outer expansion as a fraction of ku (paper: 20-40%).
+    n_sub_ratio:
+        Inner (conservative) expansion as a fraction of ku (paper: 5-15%).
+    """
+
+    def __init__(self, summary, n_sup_ratio=0.3, n_sub_ratio=0.1):
+        if not 0.0 < n_sub_ratio <= n_sup_ratio <= 1.0:
+            raise ValueError(
+                "need 0 < n_sub_ratio <= n_sup_ratio <= 1, got {} / {}"
+                .format(n_sub_ratio, n_sup_ratio))
+        self.summary = summary
+        self.n_sup = max(2, int(round(n_sup_ratio * summary.ku)))
+        self.n_sub = max(2, int(round(n_sub_ratio * summary.ku)))
+        self.outer_region = None
+        self.inner_region = None
+
+    # ------------------------------------------------------------------
+    def _expanded_region(self, positive_center_indices, n_neighbours):
+        """Union of hulls over each anchor's n nearest C_u centers."""
+        hulls = []
+        for s_idx in positive_center_indices:
+            order = np.argsort(self.summary.proximity_s[s_idx])
+            members = self.summary.centers_u[order[:n_neighbours]]
+            # Include the anchor itself so the hull always covers it.
+            pts = np.vstack([self.summary.centers_s[s_idx][None, :], members])
+            hulls.append(Hull(pts))
+        return UnionRegion(hulls) if hulls else None
+
+    def fit(self, support_labels_on_centers):
+        """Build both subregions from the C_s center labels.
+
+        Parameters
+        ----------
+        support_labels_on_centers:
+            0/1 labels of the ks initial centers (the user's labelling of
+            the initial tuples, restricted to the C_s part).
+        """
+        labels = np.asarray(support_labels_on_centers).ravel()
+        if labels.size != self.summary.ks:
+            raise ValueError("expected {} center labels, got {}".format(
+                self.summary.ks, labels.size))
+        anchors = np.flatnonzero(labels == 1)
+        self.outer_region = self._expanded_region(anchors, self.n_sup)
+        self.inner_region = self._expanded_region(anchors, self.n_sub)
+        return self
+
+    # ------------------------------------------------------------------
+    def refine(self, points, predictions):
+        """Apply the FP then FN corrections to raw 0/1 predictions.
+
+        ``points`` are raw subspace tuples (n x d); ``predictions`` the
+        classifier's 0/1 output for them.
+        """
+        predictions = np.asarray(predictions).astype(np.int64).copy()
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(points) != len(predictions):
+            raise ValueError("points/predictions length mismatch")
+        if self.outer_region is None and self.inner_region is None:
+            return predictions
+        if self.outer_region is not None:
+            # FP fix: a positive prediction outside the outer-subregion is
+            # beyond any plausible extension of the labelled interest.
+            outside = ~self.outer_region.contains(points)
+            predictions[outside & (predictions == 1)] = 0
+        if self.inner_region is not None:
+            # FN fix: points within the conservative inner-subregion are
+            # inside the real UIS.
+            inside = self.inner_region.contains(points)
+            predictions[inside & (predictions == 0)] = 1
+        return predictions

@@ -1,0 +1,44 @@
+"""Sampling utilities for offline scalability.
+
+Both meta-task clustering (Section V, footnote: "clustering is run on a
+randomly sampled (1%) subset") and tabular preprocessing (Section VII-A:
+"limit the sampling ratio under 1%") operate on samples rather than the
+full exploratory database.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_sample", "ratio_sample", "stratified_indices"]
+
+
+def random_sample(data, n, seed=None):
+    """Uniform sample of ``n`` rows without replacement (capped)."""
+    data = np.asarray(data)
+    n = min(int(n), len(data))
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(len(data), size=n, replace=False)
+    return data[idx]
+
+
+def ratio_sample(data, ratio, seed=None, min_rows=100):
+    """Sample a fraction of rows (default floor keeps tiny tables usable)."""
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError("ratio must be in (0, 1], got {}".format(ratio))
+    data = np.asarray(data)
+    n = max(min(len(data), min_rows), int(round(len(data) * ratio)))
+    return random_sample(data, n, seed=seed)
+
+
+def stratified_indices(labels, per_class, seed=None):
+    """Pick up to ``per_class`` indices of each distinct label value."""
+    labels = np.asarray(labels)
+    rng = np.random.default_rng(seed)
+    chosen = []
+    for value in np.unique(labels):
+        pool = np.flatnonzero(labels == value)
+        take = min(per_class, len(pool))
+        chosen.append(rng.choice(pool, size=take, replace=False))
+    return np.sort(np.concatenate(chosen)) if chosen \
+        else np.zeros(0, dtype=np.int64)

@@ -1,0 +1,121 @@
+"""Minimal columnar table abstraction for exploratory databases.
+
+The LTE framework only needs numeric attributes, projection onto attribute
+subsets (user-interest spaces and subspaces), and row sampling; ``Table``
+provides exactly that over a dense numpy matrix with named columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Attribute", "Table"]
+
+
+class Attribute:
+    """A named numeric column with an advisory distribution hint.
+
+    ``hint`` guides preprocessing model choice (Section VII-A): ``"modal"``
+    attributes (one or more density peaks) suit GMM encoding; ``"interval"``
+    attributes (smooth trends) suit JKC encoding; ``"auto"`` lets the
+    preprocessor decide.
+    """
+
+    __slots__ = ("name", "hint")
+
+    VALID_HINTS = ("modal", "interval", "auto")
+
+    def __init__(self, name, hint="auto"):
+        if hint not in self.VALID_HINTS:
+            raise ValueError("unknown hint {!r}; expected one of {}".format(
+                hint, self.VALID_HINTS))
+        self.name = str(name)
+        self.hint = hint
+
+    def __repr__(self):
+        return "Attribute({!r}, hint={!r})".format(self.name, self.hint)
+
+    def __eq__(self, other):
+        return (isinstance(other, Attribute)
+                and other.name == self.name and other.hint == self.hint)
+
+    def __hash__(self):
+        return hash((self.name, self.hint))
+
+
+class Table:
+    """Dense in-memory table: (n_rows x n_attributes) float matrix.
+
+    Parameters
+    ----------
+    name:
+        Dataset name (used in reports).
+    attributes:
+        Sequence of :class:`Attribute` (or plain names).
+    data:
+        2-D array, one column per attribute.
+    """
+
+    def __init__(self, name, attributes, data):
+        self.name = str(name)
+        self.attributes = [a if isinstance(a, Attribute) else Attribute(a)
+                           for a in attributes]
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be 2-D")
+        if data.shape[1] != len(self.attributes):
+            raise ValueError("data has {} columns but {} attributes".format(
+                data.shape[1], len(self.attributes)))
+        self.data = data
+        self._index = {a.name: i for i, a in enumerate(self.attributes)}
+        if len(self._index) != len(self.attributes):
+            raise ValueError("duplicate attribute names")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self):
+        return self.data.shape[0]
+
+    @property
+    def n_attributes(self):
+        return self.data.shape[1]
+
+    @property
+    def attribute_names(self):
+        return [a.name for a in self.attributes]
+
+    def __len__(self):
+        return self.n_rows
+
+    def __repr__(self):
+        return "Table({!r}, rows={}, attrs={})".format(
+            self.name, self.n_rows, self.attribute_names)
+
+    # ------------------------------------------------------------------
+    def column_index(self, name):
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError("no attribute {!r} in table {!r}".format(
+                name, self.name)) from None
+
+    def column(self, name):
+        """1-D view of one attribute's values."""
+        return self.data[:, self.column_index(name)]
+
+    def attribute(self, name):
+        return self.attributes[self.column_index(name)]
+
+    def project(self, names):
+        """New :class:`Table` restricted to the named attributes."""
+        indices = [self.column_index(n) for n in names]
+        return Table("{}[{}]".format(self.name, ",".join(names)),
+                     [self.attributes[i] for i in indices],
+                     self.data[:, indices])
+
+    def sample_rows(self, n, seed=None):
+        """Uniform row sample without replacement (n capped at n_rows)."""
+        n = min(int(n), self.n_rows)
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(self.n_rows, size=n, replace=False)
+        return self.data[idx]

@@ -1,0 +1,68 @@
+"""Evaluation metrics for interactive data exploration.
+
+Accuracy in the paper is the F1-score of the inferred user-interest region
+against the ground truth; efficiency is the label budget needed to reach a
+target F1.  DSM's three-set metric lives with the polytope model in
+:mod:`repro.geometry.polytope`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["confusion_counts", "precision_score", "recall_score", "f1_score",
+           "accuracy_score", "classification_report"]
+
+
+def _validate(y_true, y_pred):
+    y_true = np.asarray(y_true).ravel().astype(np.int64)
+    y_pred = np.asarray(y_pred).ravel().astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch: {} vs {}".format(
+            y_true.shape, y_pred.shape))
+    return y_true, y_pred
+
+
+def confusion_counts(y_true, y_pred):
+    """(tp, fp, fn, tn) for binary 0/1 labels."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    return tp, fp, fn, tn
+
+
+def precision_score(y_true, y_pred):
+    """tp / (tp + fp); 0.0 when nothing is predicted positive."""
+    tp, fp, _, _ = confusion_counts(y_true, y_pred)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall_score(y_true, y_pred):
+    """tp / (tp + fn); 0.0 when no positives exist."""
+    tp, _, fn, _ = confusion_counts(y_true, y_pred)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true, y_pred):
+    """Harmonic mean of precision and recall (the paper's accuracy metric)."""
+    tp, fp, fn, _ = confusion_counts(y_true, y_pred)
+    denom = 2 * tp + fp + fn
+    return 2 * tp / denom if denom else 0.0
+
+
+def accuracy_score(y_true, y_pred):
+    """Fraction of matching labels; 0.0 on empty input."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred)) if y_true.size else 0.0
+
+
+def classification_report(y_true, y_pred):
+    """Dict with all four headline metrics (for harness tables)."""
+    return {
+        "precision": precision_score(y_true, y_pred),
+        "recall": recall_score(y_true, y_pred),
+        "f1": f1_score(y_true, y_pred),
+        "accuracy": accuracy_score(y_true, y_pred),
+    }

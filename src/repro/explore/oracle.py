@@ -1,0 +1,75 @@
+"""Labelling oracles standing in for the human user.
+
+The paper evaluates against synthetically generated ground-truth interest
+regions, so the "user" is a membership oracle over those regions.  Oracles
+count the labels they hand out, which is how benches account for budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RegionOracle", "ConjunctiveOracle"]
+
+
+class RegionOracle:
+    """Oracle for a single region over one (sub)space."""
+
+    def __init__(self, region):
+        self.region = region
+        self.labels_given = 0
+
+    def label(self, points):
+        """0/1 interestingness labels; increments the label counter."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.labels_given += len(points)
+        return self.region.label(points)
+
+    def reset_counter(self):
+        self.labels_given = 0
+
+
+class ConjunctiveOracle:
+    """Oracle for a conjunctive UIR with known per-subspace ground truth.
+
+    Parameters
+    ----------
+    subspace_regions:
+        Mapping ``{Subspace: Region}``; the full-space UIR is their
+        conjunction (Section III-A).
+    """
+
+    def __init__(self, subspace_regions):
+        if not subspace_regions:
+            raise ValueError("need at least one subspace region")
+        self.subspace_regions = dict(subspace_regions)
+        self.labels_given = 0
+
+    # ------------------------------------------------------------------
+    def label_subspace(self, subspace, points):
+        """Label points given in ``subspace`` coordinates."""
+        region = self.subspace_regions[subspace]
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.labels_given += len(points)
+        return region.label(points)
+
+    def label(self, rows):
+        """Label full-space rows against the conjunctive UIR."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        self.labels_given += len(rows)
+        return self.ground_truth(rows)
+
+    def ground_truth(self, rows):
+        """Conjunctive membership *without* counting labels (evaluation)."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        result = np.ones(len(rows), dtype=np.int64)
+        for subspace, region in self.subspace_regions.items():
+            result &= region.label(subspace.project(rows))
+        return result
+
+    def ground_truth_subspace(self, subspace, points):
+        """Subspace membership without counting labels."""
+        return self.subspace_regions[subspace].label(points)
+
+    def reset_counter(self):
+        self.labels_given = 0

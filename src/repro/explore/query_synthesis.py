@@ -1,0 +1,88 @@
+"""Final retrieval as SQL: extract query filters from a trained session.
+
+Paper Section III-B, "Final retrieval": *"The results can also be
+transformed to query filters (e.g., in SQL), if prerequisite assumptions
+about UIR and query templates are made."*  The assumption made here is the
+classic one — the filter is a disjunction of axis-aligned range predicates
+(the template AIDE produces).  A surrogate decision tree is fitted to the
+session's predictions on a sample; its positive leaves become the
+predicates.
+
+The synthesized filter is a *lossy* summary of the NN classifier (which is
+the point: it is human-readable and executable by any SQL engine); its
+fidelity against the session's own predictions is reported alongside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.decision_tree import DecisionTree
+
+__all__ = ["SynthesizedQuery", "synthesize_query"]
+
+
+class SynthesizedQuery:
+    """A DNF-of-ranges filter extracted from a session's predictions."""
+
+    def __init__(self, attribute_names, boxes, fidelity):
+        self.attribute_names = list(attribute_names)
+        self.boxes = boxes              # list of (lo, hi) raw-value arrays
+        self.fidelity = fidelity        # agreement with the session, [0,1]
+
+    # ------------------------------------------------------------------
+    def predicate(self, rows):
+        """Evaluate the filter: 0/1 per row (same semantics as the SQL)."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        result = np.zeros(len(rows), dtype=np.int64)
+        for lo, hi in self.boxes:
+            inside = ((rows >= lo) & (rows <= hi)).all(axis=1)
+            result |= inside.astype(np.int64)
+        return result
+
+    def to_sql(self, table_name="data", precision=6):
+        """Render as a SQL SELECT with a WHERE clause in DNF."""
+        if not self.boxes:
+            return "SELECT * FROM {} WHERE FALSE".format(table_name)
+        disjuncts = []
+        for lo, hi in self.boxes:
+            conjuncts = []
+            for name, low, high in zip(self.attribute_names, lo, hi):
+                conjuncts.append(
+                    "{name} BETWEEN {lo:.{p}g} AND {hi:.{p}g}".format(
+                        name=name, lo=low, hi=high, p=precision))
+            disjuncts.append("(" + " AND ".join(conjuncts) + ")")
+        return "SELECT * FROM {} WHERE {}".format(
+            table_name, "\n   OR ".join(disjuncts))
+
+    def __repr__(self):
+        return "SynthesizedQuery(boxes={}, fidelity={:.3f})".format(
+            len(self.boxes), self.fidelity)
+
+
+def synthesize_query(session, sample_rows=4000, max_depth=8, seed=0):
+    """Extract a SQL-expressible filter approximating a session's UIR.
+
+    Parameters
+    ----------
+    session:
+        A labelled :class:`~repro.core.framework.ExplorationSession`.
+    sample_rows:
+        Size of the table sample the surrogate tree is fitted on.
+    max_depth:
+        Surrogate-tree depth (more depth = finer, longer filter).
+
+    Returns
+    -------
+    :class:`SynthesizedQuery`
+    """
+    table = session.lte.table
+    rows = table.sample_rows(sample_rows, seed=seed)
+    predictions = session.predict(rows)
+    tree = DecisionTree(max_depth=max_depth).fit(rows, predictions)
+    lower = table.data.min(axis=0)
+    upper = table.data.max(axis=0)
+    boxes = tree.positive_boxes(lower, upper)
+    query = SynthesizedQuery(table.attribute_names, boxes, fidelity=0.0)
+    query.fidelity = float(np.mean(query.predicate(rows) == predictions))
+    return query

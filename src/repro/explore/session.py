@@ -1,0 +1,73 @@
+"""End-to-end exploration runs: LTE session + oracle + evaluation.
+
+Convenience wrappers that execute the full online loop the paper times:
+present initial tuples, collect oracle labels, adapt, predict, score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import f1_score
+from .oracle import ConjunctiveOracle
+
+__all__ = ["run_lte_exploration", "ExplorationResult"]
+
+
+class ExplorationResult:
+    """Outcome of one exploration run."""
+
+    def __init__(self, f1, labels_used, adapt_seconds, predictions,
+                 ground_truth):
+        self.f1 = f1
+        self.labels_used = labels_used
+        self.adapt_seconds = adapt_seconds
+        self.predictions = predictions
+        self.ground_truth = ground_truth
+
+    def __repr__(self):
+        return ("ExplorationResult(f1={:.3f}, labels={}, adapt_s={:.4f})"
+                .format(self.f1, self.labels_used,
+                        self.adapt_seconds or float("nan")))
+
+
+def run_lte_exploration(lte, oracle, eval_rows, variant="meta_star",
+                        subspaces=None, seed=None):
+    """Run one full LTE online exploration against an oracle.
+
+    Parameters
+    ----------
+    lte:
+        A fitted :class:`~repro.core.framework.LTE`.
+    oracle:
+        A :class:`~repro.explore.oracle.ConjunctiveOracle` whose subspace
+        keys match the LTE meta-subspaces being explored.
+    eval_rows:
+        Full-space rows on which the final F1 is measured.
+    variant:
+        ``"basic"``, ``"meta"`` or ``"meta_star"``.
+
+    Returns
+    -------
+    :class:`ExplorationResult`
+    """
+    if not isinstance(oracle, ConjunctiveOracle):
+        raise TypeError("run_lte_exploration needs a ConjunctiveOracle")
+    session = lte.start_session(variant=variant, subspaces=subspaces,
+                                seed=seed)
+    before = oracle.labels_given
+    for subspace, tuples in session.initial_tuples().items():
+        labels = oracle.label_subspace(subspace, tuples)
+        session.submit_labels(subspace, labels)
+    labels_used = oracle.labels_given - before
+
+    eval_rows = np.atleast_2d(np.asarray(eval_rows, dtype=np.float64))
+    predictions = session.predict(eval_rows)
+    truth = oracle.ground_truth(eval_rows)
+    return ExplorationResult(
+        f1=f1_score(truth, predictions),
+        labels_used=labels_used,
+        adapt_seconds=session.adapt_seconds,
+        predictions=predictions,
+        ground_truth=truth,
+    )

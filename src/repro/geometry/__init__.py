@@ -1,0 +1,13 @@
+"""Computational-geometry substrate: hulls, regions, DSM polytopes."""
+
+from .convex_hull import Hull, convex_hull_vertices_2d
+from .polytope import (PolytopeModel, THREE_SET_NEGATIVE, THREE_SET_POSITIVE,
+                       THREE_SET_UNCERTAIN)
+from .regions import BoxRegion, ConjunctiveRegion, Region, UnionRegion
+
+__all__ = [
+    "Hull", "convex_hull_vertices_2d",
+    "Region", "UnionRegion", "BoxRegion", "ConjunctiveRegion",
+    "PolytopeModel",
+    "THREE_SET_POSITIVE", "THREE_SET_NEGATIVE", "THREE_SET_UNCERTAIN",
+]

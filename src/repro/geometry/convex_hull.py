@@ -1,0 +1,171 @@
+"""Convex hulls with fast point-containment tests.
+
+Convex hulls are the basic building block of simulated user-interest
+subregions (Section V-C): a UIS is a union of alpha hulls, each
+circumscribing the psi nearest cluster centers of a random seed center.
+The paper only ever needs the membership predicate "is tuple tau inside
+hull H", so this module exposes exactly that, robust to the degenerate
+inputs random sampling produces (collinear points, 1-D subspaces).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:
+    from scipy.spatial import ConvexHull as _SciPyHull
+    from scipy.spatial import QhullError
+except ImportError:  # pragma: no cover - scipy is a hard dependency
+    _SciPyHull = None
+    QhullError = Exception
+
+__all__ = ["Hull", "convex_hull_vertices_2d"]
+
+_EPS = 1e-9
+
+
+def convex_hull_vertices_2d(points):
+    """Andrew's monotone chain: CCW hull vertices of 2-D points.
+
+    A dependency-free 2-D hull used for cross-checking the scipy-based
+    implementation in tests and as a fallback; returns the vertices in
+    counter-clockwise order without repetition.
+    """
+    pts = np.unique(np.asarray(points, dtype=np.float64), axis=0)
+    if len(pts) <= 2:
+        return pts
+    # Sort lexicographically.
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    pts = pts[order]
+
+    def cross(o, a, b):
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper = []
+    for p in pts[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    return np.asarray(lower[:-1] + upper[:-1])
+
+
+class Hull:
+    """Convex hull of a point set supporting vectorized containment.
+
+    Handles three regimes:
+
+    * 1-D point sets -> an interval [min, max];
+    * full-dimensional sets -> Qhull half-space representation
+      ``A x + b <= 0``;
+    * degenerate sets (points lying in an affine subspace, e.g. collinear
+      2-D samples) -> hull of the points projected onto their affine span,
+      plus an "on-the-span" check.
+    """
+
+    def __init__(self, points):
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.size == 0:
+            raise ValueError("cannot build hull of no points")
+        self.points = points
+        self.dim = points.shape[1]
+        self._interval = None
+        self._equations = None
+        self._span = None  # (origin, basis, sub_hull) for degenerate sets
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self):
+        pts = self.points
+        if self.dim == 1:
+            self._interval = (float(pts.min()), float(pts.max()))
+            return
+        # Determine the affine rank.
+        origin = pts.mean(axis=0)
+        centered = pts - origin
+        u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        scale = max(1.0, float(np.abs(s).max()) if s.size else 1.0)
+        rank = int(np.sum(s > 1e-9 * scale))
+        if rank >= self.dim and len(pts) > self.dim:
+            try:
+                hull = _SciPyHull(pts)
+                self._equations = hull.equations
+                self.vertices = pts[hull.vertices]
+                return
+            except QhullError:
+                try:  # joggle inputs to break precision degeneracies
+                    hull = _SciPyHull(pts, qhull_options="QJ")
+                    self._equations = hull.equations
+                    self.vertices = pts[hull.vertices]
+                    return
+                except QhullError:
+                    pass  # fall through to the degenerate path
+        if rank == 0:
+            # All points coincide.
+            self._span = (origin, np.zeros((0, self.dim)), None)
+            self.vertices = pts[:1]
+            return
+        if rank >= self.dim:
+            # Full-rank input on which Qhull failed twice: conservative
+            # bounding-box fallback (guards against unbounded recursion).
+            self._span = None
+            lo, hi = pts.min(axis=0), pts.max(axis=0)
+            eye = np.eye(self.dim)
+            self._equations = np.vstack([
+                np.hstack([eye, -hi[:, None]]),
+                np.hstack([-eye, lo[:, None]]),
+            ])
+            self.vertices = pts
+            return
+        basis = vt[:rank]
+        projected = centered @ basis.T
+        sub_hull = Hull(projected) if rank >= 1 else None
+        self._span = (origin, basis, sub_hull)
+        self.vertices = pts
+
+    # ------------------------------------------------------------------
+    def contains(self, queries, eps=1e-9):
+        """Boolean mask: which query points lie inside (or on) the hull."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.dim:
+            raise ValueError("query dimension {} != hull dimension {}"
+                             .format(queries.shape[1], self.dim))
+        if self._interval is not None:
+            lo, hi = self._interval
+            col = queries[:, 0]
+            return (col >= lo - eps) & (col <= hi + eps)
+        if self._equations is not None:
+            # A x + b <= eps for every facet.
+            values = queries @ self._equations[:, :-1].T \
+                + self._equations[:, -1]
+            return (values <= eps * max(1.0, np.abs(queries).max())).all(axis=1)
+        # Degenerate: check residual distance to the span, then recurse.
+        origin, basis, sub_hull = self._span
+        centered = queries - origin
+        if basis.shape[0] == 0:
+            scale = max(1.0, float(np.abs(self.points).max()))
+            return np.linalg.norm(centered, axis=1) <= 1e-6 * scale
+        coords = centered @ basis.T
+        residual = centered - coords @ basis
+        scale = max(1.0, float(np.abs(self.points).max()))
+        on_span = np.linalg.norm(residual, axis=1) <= 1e-6 * scale
+        inside = sub_hull.contains(coords) if sub_hull is not None \
+            else np.ones(len(queries), dtype=bool)
+        return on_span & inside
+
+    def contains_point(self, point, eps=1e-9):
+        """Containment test for a single point."""
+        return bool(self.contains(np.asarray(point)[None, :], eps=eps)[0])
+
+    # ------------------------------------------------------------------
+    @property
+    def bounding_box(self):
+        """(lo, hi) arrays of the axis-aligned bounding box."""
+        return self.points.min(axis=0), self.points.max(axis=0)
+
+    def __repr__(self):
+        return "Hull(dim={}, n_points={})".format(self.dim, len(self.points))

@@ -1,0 +1,162 @@
+"""Dual-space polytope model used by the DSM baseline.
+
+DSM (Huang et al., VLDB 2019) assumes the user-interest region is convex in
+each subspace.  Under that assumption, labelled examples induce three
+provable sets:
+
+* the **positive region**: the convex hull of positively labelled tuples
+  (every point inside is interesting, by convexity);
+* the **negative region**: a point ``q`` is provably uninteresting when some
+  negative example lies in ``conv(positives U {q})`` — equivalently, when
+  the ray from ``q`` through a negative example hits the positive hull;
+* the **uncertain region**: everything else; only here must the classifier
+  (an SVM) be consulted, and only from here does active learning sample.
+
+The three-set partition also yields DSM's *three-set metric*, a certified
+lower bound on model accuracy used as a convergence signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .convex_hull import Hull
+
+__all__ = ["PolytopeModel", "THREE_SET_POSITIVE", "THREE_SET_NEGATIVE",
+           "THREE_SET_UNCERTAIN"]
+
+THREE_SET_POSITIVE = 1
+THREE_SET_NEGATIVE = 0
+THREE_SET_UNCERTAIN = -1
+
+
+class PolytopeModel:
+    """Incremental dual-space region model for one subspace.
+
+    Parameters
+    ----------
+    dim:
+        Subspace dimensionality.
+    """
+
+    def __init__(self, dim, max_negative_anchors=None):
+        self.dim = dim
+        #: cap on how many (most recent) negative examples build cones;
+        #: None = all.  High-dimensional positive hulls have many facets,
+        #: making each cone test expensive.
+        self.max_negative_anchors = max_negative_anchors
+        self._positives = []
+        self._negatives = []
+        self._hull = None
+        self._stale = False
+
+    # ------------------------------------------------------------------
+    def update(self, points, labels):
+        """Feed newly labelled tuples (points: n x dim, labels: 0/1)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        labels = np.asarray(labels).ravel()
+        if points.shape[1] != self.dim:
+            raise ValueError("point dim {} != model dim {}".format(
+                points.shape[1], self.dim))
+        if len(points) != len(labels):
+            raise ValueError("points/labels length mismatch")
+        for point, label in zip(points, labels):
+            if label == 1:
+                self._positives.append(point)
+            else:
+                self._negatives.append(point)
+        self._stale = True
+
+    @property
+    def positives(self):
+        return np.asarray(self._positives).reshape(-1, self.dim)
+
+    @property
+    def negatives(self):
+        return np.asarray(self._negatives).reshape(-1, self.dim)
+
+    def _positive_hull(self):
+        if self._stale or self._hull is None:
+            self._hull = Hull(self.positives) if self._positives else None
+            self._stale = False
+        return self._hull
+
+    # ------------------------------------------------------------------
+    def positive_mask(self, queries):
+        """Points provably inside the interest region."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        hull = self._positive_hull()
+        if hull is None:
+            return np.zeros(len(queries), dtype=bool)
+        return hull.contains(queries)
+
+    def negative_mask(self, queries):
+        """Points provably outside the interest region.
+
+        ``q`` is provably negative iff for some negative example ``x``, the
+        ray from ``q`` through ``x`` (beyond ``x``) intersects the positive
+        hull — then ``x in conv(positives U {q})`` and a convex UIS
+        containing ``q`` would wrongly contain ``x``.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        result = np.zeros(len(queries), dtype=bool)
+        if not self._negatives:
+            return result
+        anchors = self._negatives
+        if self.max_negative_anchors is not None:
+            anchors = anchors[-self.max_negative_anchors:]
+        hull = self._positive_hull()
+        if hull is None or hull._equations is None:
+            # Without a full-dimensional positive hull the provable negative
+            # region collapses to the negative examples themselves.
+            for x in anchors:
+                result |= np.all(np.isclose(queries, x[None, :]), axis=1)
+            return result
+        equations = hull._equations  # A x + b <= 0 inside
+        normals = equations[:, :-1]
+        offsets = equations[:, -1]
+        for x in anchors:
+            pending = ~result
+            if not pending.any():
+                break
+            q = queries[pending]
+            # Ray r(u) = x + u * (x - q), u >= 0.  Intersect with each
+            # halfspace: n.(x + u d) + b <= 0.
+            d = x[None, :] - q
+            n_dot_x = normals @ x + offsets          # (facets,)
+            n_dot_d = d @ normals.T                  # (m, facets)
+            lo = np.zeros(len(q))
+            hi = np.full(len(q), np.inf)
+            feasible = np.ones(len(q), dtype=bool)
+            for f in range(len(normals)):
+                a = n_dot_d[:, f]
+                c = n_dot_x[f]
+                # a * u + c <= 0
+                pos = a > 1e-12
+                neg = a < -1e-12
+                flat = ~(pos | neg)
+                hi[pos] = np.minimum(hi[pos], -c / a[pos])
+                lo[neg] = np.maximum(lo[neg], -c / a[neg])
+                if c > 1e-9:
+                    feasible[flat] = False
+            feasible &= lo <= hi + 1e-12
+            hit = np.zeros(len(queries), dtype=bool)
+            hit[pending] = feasible
+            result |= hit
+        return result
+
+    def three_set_partition(self, queries):
+        """Per-point code: positive (1), negative (0) or uncertain (-1)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        codes = np.full(len(queries), THREE_SET_UNCERTAIN, dtype=np.int64)
+        codes[self.positive_mask(queries)] = THREE_SET_POSITIVE
+        neg = self.negative_mask(queries)
+        codes[neg & (codes == THREE_SET_UNCERTAIN)] = THREE_SET_NEGATIVE
+        return codes
+
+    def three_set_metric(self, queries):
+        """Certified accuracy lower bound: fraction of resolved points."""
+        codes = self.three_set_partition(queries)
+        if len(codes) == 0:
+            return 0.0
+        return float(np.mean(codes != THREE_SET_UNCERTAIN))

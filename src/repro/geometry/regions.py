@@ -1,0 +1,148 @@
+"""Regions as unions of convex parts, and conjunctive cross-subspace regions.
+
+``UnionRegion`` realizes the paper's general UIS form (Section V-C):
+"the composition of any set of convex parts on a meta-subspace", which by
+convex decomposition covers concave and even disconnected interest regions.
+``ConjunctiveRegion`` combines per-subspace regions into a full-space UIR
+(Section III-A: R_u is the conjunctive combination of its subregions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .convex_hull import Hull
+
+__all__ = ["Region", "UnionRegion", "ConjunctiveRegion", "BoxRegion",
+           "ScaledRegion"]
+
+
+class Region:
+    """Interface: a membership predicate over a (sub)space."""
+
+    dim = None
+
+    def contains(self, points):
+        """Boolean mask of membership for an (n x dim) array."""
+        raise NotImplementedError
+
+    def label(self, points):
+        """0/1 int labels; convenience over :meth:`contains`."""
+        return self.contains(points).astype(np.int64)
+
+
+class UnionRegion(Region):
+    """Union of convex hulls: the general UIS representation.
+
+    Parameters
+    ----------
+    hulls:
+        Iterable of :class:`~repro.geometry.convex_hull.Hull` (or point
+        arrays, which are wrapped).
+    """
+
+    def __init__(self, hulls):
+        hulls = [h if isinstance(h, Hull) else Hull(h) for h in hulls]
+        if not hulls:
+            raise ValueError("UnionRegion needs at least one hull")
+        dims = {h.dim for h in hulls}
+        if len(dims) != 1:
+            raise ValueError("hulls of mixed dimensionality: {}".format(dims))
+        self.hulls = hulls
+        self.dim = dims.pop()
+
+    def contains(self, points):
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        mask = np.zeros(len(points), dtype=bool)
+        for hull in self.hulls:
+            remaining = ~mask
+            if not remaining.any():
+                break
+            mask[remaining] = hull.contains(points[remaining])
+        return mask
+
+    @property
+    def n_parts(self):
+        return len(self.hulls)
+
+    def __repr__(self):
+        return "UnionRegion(dim={}, parts={})".format(self.dim, self.n_parts)
+
+
+class BoxRegion(Region):
+    """Axis-aligned box; used in tests and as a simple workload shape."""
+
+    def __init__(self, lo, hi):
+        self.lo = np.asarray(lo, dtype=np.float64)
+        self.hi = np.asarray(hi, dtype=np.float64)
+        if self.lo.shape != self.hi.shape:
+            raise ValueError("lo/hi shape mismatch")
+        if np.any(self.lo > self.hi):
+            raise ValueError("lo must be <= hi")
+        self.dim = self.lo.size
+
+    def contains(self, points):
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return ((points >= self.lo) & (points <= self.hi)).all(axis=1)
+
+
+class ScaledRegion(Region):
+    """A region defined in a scaler's normalized space, queried in raw
+    coordinates.
+
+    LTE normalizes every subspace internally (clustering and hull geometry
+    are meaningless across attributes of wildly different scales); regions
+    built over normalized cluster centers are wrapped so the rest of the
+    system keeps talking raw attribute values.
+    """
+
+    def __init__(self, region, scaler):
+        self.region = region
+        self.scaler = scaler
+        self.dim = region.dim
+
+    def contains(self, points):
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return self.region.contains(self.scaler.transform(points))
+
+    @property
+    def n_parts(self):
+        return getattr(self.region, "n_parts", 1)
+
+
+class ConjunctiveRegion(Region):
+    """Conjunction of per-subspace regions over column groups.
+
+    Parameters
+    ----------
+    subspace_regions:
+        List of ``(column_indices, Region)``: a full-space point belongs to
+        the UIR iff, for every entry, its projection onto ``column_indices``
+        belongs to the corresponding region.
+    """
+
+    def __init__(self, subspace_regions):
+        if not subspace_regions:
+            raise ValueError("need at least one subspace region")
+        self.subspace_regions = []
+        for columns, region in subspace_regions:
+            columns = tuple(int(c) for c in columns)
+            if len(columns) != region.dim:
+                raise ValueError(
+                    "column group {} does not match region dim {}".format(
+                        columns, region.dim))
+            self.subspace_regions.append((columns, region))
+        self.dim = sum(len(cols) for cols, _ in self.subspace_regions)
+
+    def contains(self, points):
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        mask = np.ones(len(points), dtype=bool)
+        for columns, region in self.subspace_regions:
+            if not mask.any():
+                break
+            mask &= region.contains(points[:, list(columns)])
+        return mask
+
+    def __repr__(self):
+        groups = [cols for cols, _ in self.subspace_regions]
+        return "ConjunctiveRegion(groups={})".format(groups)

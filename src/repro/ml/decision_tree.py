@@ -1,0 +1,190 @@
+"""CART decision tree (binary classification, axis-aligned splits).
+
+Substrate for the AIDE baseline (Table I: AIDE explores with decision-tree
+classifiers under active learning) and for the SQL query-region extraction
+of the final-retrieval module: a tree's positive leaves form a disjunction
+of axis-aligned range predicates — directly expressible as a SQL filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DecisionTree", "TreeNode"]
+
+
+class TreeNode:
+    """A tree node; leaves carry the positive-class probability."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "probability",
+                 "n_samples")
+
+    def __init__(self, probability, n_samples):
+        self.feature = None
+        self.threshold = None
+        self.left = None
+        self.right = None
+        self.probability = probability
+        self.n_samples = n_samples
+
+    @property
+    def is_leaf(self):
+        return self.feature is None
+
+
+def _gini(positive, total):
+    if total == 0:
+        return 0.0
+    p = positive / total
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTree:
+    """Greedy CART for 0/1 labels.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (root = depth 0).
+    min_samples_split:
+        Minimum samples needed to consider a split.
+    min_gain:
+        Minimum Gini improvement to accept a split.
+    """
+
+    def __init__(self, max_depth=6, min_samples_split=4, min_gain=1e-7):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_gain = min_gain
+        self.root_ = None
+        self.n_features_ = None
+
+    # ------------------------------------------------------------------
+    def fit(self, features, labels):
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        labels = np.asarray(labels).ravel().astype(np.int64)
+        if len(features) != len(labels):
+            raise ValueError("features/labels length mismatch")
+        if len(features) == 0:
+            raise ValueError("cannot fit an empty dataset")
+        self.n_features_ = features.shape[1]
+        self.root_ = self._build(features, labels, depth=0)
+        return self
+
+    def _build(self, features, labels, depth):
+        n = len(labels)
+        positives = int(labels.sum())
+        node = TreeNode(probability=positives / n, n_samples=n)
+        if (depth >= self.max_depth or n < self.min_samples_split
+                or positives == 0 or positives == n):
+            return node
+        best = self._best_split(features, labels)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(features[mask], labels[mask], depth + 1)
+        node.right = self._build(features[~mask], labels[~mask], depth + 1)
+        return node
+
+    def _best_split(self, features, labels):
+        n = len(labels)
+        total_pos = labels.sum()
+        parent = _gini(total_pos, n)
+        best_gain, best = self.min_gain, None
+        for feature in range(features.shape[1]):
+            order = np.argsort(features[:, feature], kind="stable")
+            values = features[order, feature]
+            sorted_labels = labels[order]
+            pos_cum = np.cumsum(sorted_labels)
+            # Candidate split after index i (1..n-1), only where the value
+            # actually changes.
+            change = np.flatnonzero(np.diff(values) > 0) + 1
+            for i in change:
+                left_pos = pos_cum[i - 1]
+                gini_left = _gini(left_pos, i)
+                gini_right = _gini(total_pos - left_pos, n - i)
+                weighted = (i * gini_left + (n - i) * gini_right) / n
+                gain = parent - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, 0.5 * (values[i - 1] + values[i]))
+        return best
+
+    # ------------------------------------------------------------------
+    def _leaf_for(self, row):
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold \
+                else node.right
+        return node
+
+    def predict_proba(self, features):
+        """Positive-class probability per row (leaf frequency)."""
+        self._check_fitted()
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return np.array([self._leaf_for(row).probability
+                         for row in features])
+
+    def predict(self, features):
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def positive_boxes(self, lower, upper, threshold=0.5):
+        """Axis-aligned boxes of the positive leaves.
+
+        Walks the tree accumulating the split constraints; returns a list
+        of ``(lo, hi)`` bound arrays, one per leaf whose positive
+        probability reaches ``threshold``.  ``lower``/``upper`` bound the
+        overall domain (unconstrained sides default to them).
+        """
+        self._check_fitted()
+        lower = np.asarray(lower, dtype=np.float64).copy()
+        upper = np.asarray(upper, dtype=np.float64).copy()
+        boxes = []
+
+        def walk(node, lo, hi):
+            if node.is_leaf:
+                if node.probability >= threshold:
+                    boxes.append((lo.copy(), hi.copy()))
+                return
+            old = hi[node.feature]
+            hi[node.feature] = min(old, node.threshold)
+            walk(node.left, lo, hi)
+            hi[node.feature] = old
+            old = lo[node.feature]
+            lo[node.feature] = max(old, node.threshold)
+            walk(node.right, lo, hi)
+            lo[node.feature] = old
+
+        walk(self.root_, lower, upper)
+        return boxes
+
+    def depth(self):
+        """Actual depth of the fitted tree."""
+        self._check_fitted()
+
+        def measure(node):
+            if node.is_leaf:
+                return 0
+            return 1 + max(measure(node.left), measure(node.right))
+
+        return measure(self.root_)
+
+    def n_leaves(self):
+        self._check_fitted()
+
+        def count(node):
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+
+        return count(self.root_)
+
+    def _check_fitted(self):
+        if self.root_ is None:
+            raise RuntimeError("DecisionTree used before fit")

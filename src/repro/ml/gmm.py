@@ -1,0 +1,115 @@
+"""Gaussian mixture model fitted by expectation-maximization.
+
+Used by the tabular-data preprocessing (Algorithm 3) to capture unimodal
+and multimodal numeric attribute distributions: each attribute value is
+encoded as (one-hot of the maximum-likelihood component, value normalized
+within that component).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaussianMixture1D"]
+
+_LOG_2PI = np.log(2.0 * np.pi)
+
+
+class GaussianMixture1D:
+    """Univariate GMM via EM, with k-means-style seeding.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    weights_ : (k,) mixture weights, summing to 1.
+    means_ : (k,) component means.
+    stds_ : (k,) component standard deviations (floored at ``min_std``).
+    """
+
+    def __init__(self, n_components, max_iter=100, tol=1e-6, seed=None,
+                 min_std=1e-6):
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.min_std = min_std
+        self.weights_ = None
+        self.means_ = None
+        self.stds_ = None
+        self.n_iter_ = 0
+        self.converged_ = False
+
+    # ------------------------------------------------------------------
+    def _log_prob_matrix(self, values):
+        """(n, k) matrix of log N(x_i | mu_j, sigma_j) + log w_j."""
+        diff = (values[:, None] - self.means_[None, :]) / self.stds_[None, :]
+        log_pdf = -0.5 * (diff ** 2 + _LOG_2PI) - np.log(self.stds_)[None, :]
+        return log_pdf + np.log(self.weights_)[None, :]
+
+    def fit(self, values):
+        """Fit the mixture to a 1-D array of attribute values."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size < self.n_components:
+            raise ValueError("need at least n_components samples")
+        rng = np.random.default_rng(self.seed)
+
+        # Seed means from quantiles (robust for skewed attributes), jittered.
+        quantiles = np.linspace(0.0, 1.0, self.n_components + 2)[1:-1]
+        self.means_ = np.quantile(values, quantiles)
+        spread = max(values.std(), self.min_std)
+        self.means_ = self.means_ + rng.normal(0, 1e-3 * spread,
+                                               self.n_components)
+        self.stds_ = np.full(self.n_components, spread)
+        self.weights_ = np.full(self.n_components, 1.0 / self.n_components)
+
+        prev_ll = -np.inf
+        for iteration in range(self.max_iter):
+            # E-step (log-sum-exp for stability).
+            log_joint = self._log_prob_matrix(values)
+            log_norm = np.logaddexp.reduce(log_joint, axis=1)
+            resp = np.exp(log_joint - log_norm[:, None])
+
+            # M-step.
+            counts = resp.sum(axis=0) + 1e-12
+            self.weights_ = counts / counts.sum()
+            self.means_ = (resp * values[:, None]).sum(axis=0) / counts
+            var = (resp * (values[:, None] - self.means_[None, :]) ** 2
+                   ).sum(axis=0) / counts
+            self.stds_ = np.sqrt(np.maximum(var, self.min_std ** 2))
+
+            log_likelihood = float(log_norm.sum())
+            self.n_iter_ = iteration + 1
+            if np.isfinite(prev_ll) and (
+                    abs(log_likelihood - prev_ll)
+                    <= self.tol * max(1.0, abs(prev_ll))):
+                self.converged_ = True
+                break
+            prev_ll = log_likelihood
+        return self
+
+    # ------------------------------------------------------------------
+    def responsibilities(self, values):
+        """(n, k) posterior component probabilities for each value."""
+        self._check_fitted()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        log_joint = self._log_prob_matrix(values)
+        log_norm = np.logaddexp.reduce(log_joint, axis=1)
+        return np.exp(log_joint - log_norm[:, None])
+
+    def predict(self, values):
+        """Index of the maximum-likelihood component for each value."""
+        self._check_fitted()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        return self._log_prob_matrix(values).argmax(axis=1)
+
+    def sample(self, n, seed=None):
+        """Draw ``n`` samples from the fitted mixture."""
+        self._check_fitted()
+        rng = np.random.default_rng(seed)
+        comps = rng.choice(self.n_components, size=n, p=self.weights_)
+        return rng.normal(self.means_[comps], self.stds_[comps])
+
+    def _check_fitted(self):
+        if self.means_ is None:
+            raise RuntimeError("GaussianMixture1D used before fit")

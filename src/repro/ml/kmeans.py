@@ -1,0 +1,117 @@
+"""Lloyd's k-means with k-means++ seeding.
+
+Clustering is the workhorse of LTE's meta-task generation (Section V-B):
+three independent rounds with k = ku, ks, kq summarize each meta-subspace
+into cluster-center sets C_u, C_s, C_q, and the proximity matrices P_u, P_s
+drive UIS construction and feature-vector expansion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KMeans", "pairwise_distances"]
+
+
+def pairwise_distances(a, b):
+    """Euclidean distance matrix between rows of ``a`` and rows of ``b``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    sq = (np.sum(a ** 2, axis=1)[:, None]
+          + np.sum(b ** 2, axis=1)[None, :]
+          - 2.0 * a @ b.T)
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq)
+
+
+class KMeans:
+    """Batch k-means (Lloyd's algorithm).
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of cluster centers ``k``.
+    max_iter:
+        Iteration cap for Lloyd's loop.
+    tol:
+        Convergence threshold on center movement (Frobenius norm).
+    seed:
+        Seed for the k-means++ initialization.
+    """
+
+    def __init__(self, n_clusters, max_iter=100, tol=1e-6, seed=None):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centers_ = None
+        self.labels_ = None
+        self.inertia_ = None
+        self.n_iter_ = 0
+
+    # ------------------------------------------------------------------
+    def _init_centers(self, data, rng):
+        """k-means++ seeding (Arthur & Vassilvitskii, 2007)."""
+        n = data.shape[0]
+        centers = np.empty((self.n_clusters, data.shape[1]))
+        centers[0] = data[rng.integers(n)]
+        closest_sq = np.sum((data - centers[0]) ** 2, axis=1)
+        for i in range(1, self.n_clusters):
+            total = closest_sq.sum()
+            if total <= 0:
+                # All remaining points coincide with chosen centers.
+                centers[i:] = data[rng.integers(n, size=self.n_clusters - i)]
+                break
+            probs = closest_sq / total
+            idx = rng.choice(n, p=probs)
+            centers[i] = data[idx]
+            dist_sq = np.sum((data - centers[i]) ** 2, axis=1)
+            np.minimum(closest_sq, dist_sq, out=closest_sq)
+        return centers
+
+    def fit(self, data):
+        """Cluster ``data`` (n x d). Returns self."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("expected 2-D data, got shape {}".format(data.shape))
+        n = data.shape[0]
+        if n < self.n_clusters:
+            raise ValueError(
+                "need at least n_clusters={} points, got {}".format(
+                    self.n_clusters, n))
+        rng = np.random.default_rng(self.seed)
+        centers = self._init_centers(data, rng)
+
+        labels = np.zeros(n, dtype=np.int64)
+        for iteration in range(self.max_iter):
+            dist = pairwise_distances(data, centers)
+            labels = dist.argmin(axis=1)
+            new_centers = centers.copy()
+            for j in range(self.n_clusters):
+                members = data[labels == j]
+                if len(members):
+                    new_centers[j] = members.mean(axis=0)
+                else:
+                    # Re-seed empty cluster at the farthest point.
+                    farthest = dist.min(axis=1).argmax()
+                    new_centers[j] = data[farthest]
+            shift = np.linalg.norm(new_centers - centers)
+            centers = new_centers
+            self.n_iter_ = iteration + 1
+            if shift <= self.tol:
+                break
+
+        dist = pairwise_distances(data, centers)
+        self.labels_ = dist.argmin(axis=1)
+        self.centers_ = centers
+        self.inertia_ = float(np.sum(dist[np.arange(n), self.labels_] ** 2))
+        return self
+
+    def predict(self, data):
+        """Assign each row of ``data`` to its nearest learned center."""
+        if self.centers_ is None:
+            raise RuntimeError("KMeans.predict called before fit")
+        data = np.asarray(data, dtype=np.float64)
+        return pairwise_distances(data, self.centers_).argmin(axis=1)

@@ -1,0 +1,56 @@
+"""Min-max feature scaling.
+
+The "straightforward" tabular preprocessing the paper compares against
+(Section VII-A), and the normalization step applied inside each GMM
+component / JKC interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MinMaxScaler", "normalize_within"]
+
+
+def normalize_within(values, lo, hi):
+    """Scale values into [0, 1] relative to the interval [lo, hi].
+
+    Degenerate intervals (hi == lo) map to 0.5; outputs are clipped so
+    out-of-interval values (possible for GMM-component normalization,
+    where the interval is mean +/- 2*std) stay in range.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    span = hi - lo
+    if span <= 0:
+        return np.full_like(values, 0.5)
+    return np.clip((values - lo) / span, 0.0, 1.0)
+
+
+class MinMaxScaler:
+    """Columnwise min-max scaler to [0, 1]."""
+
+    def __init__(self):
+        self.min_ = None
+        self.max_ = None
+
+    def fit(self, data):
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        self.min_ = data.min(axis=0)
+        self.max_ = data.max(axis=0)
+        return self
+
+    def transform(self, data):
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler used before fit")
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        span = np.where(self.max_ > self.min_, self.max_ - self.min_, 1.0)
+        return np.clip((data - self.min_) / span, 0.0, 1.0)
+
+    def fit_transform(self, data):
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data):
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler used before fit")
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        return data * (self.max_ - self.min_) + self.min_

@@ -1,0 +1,168 @@
+"""Soft-margin kernel SVM trained by a simplified SMO solver.
+
+This is the classifier substrate of both baselines: AL-SVM (AIDE-style
+active learning over an RBF SVM) and DSM, whose dual-space model falls back
+to an SVM outside its known polytope regions.  A few hundred labelled
+tuples per exploration round keeps the O(n^2) kernel matrix cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SVC", "rbf_kernel", "linear_kernel"]
+
+
+def rbf_kernel(a, b, gamma):
+    """Gaussian kernel matrix exp(-gamma * ||a_i - b_j||^2)."""
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    sq = (np.sum(a ** 2, axis=1)[:, None]
+          + np.sum(b ** 2, axis=1)[None, :]
+          - 2.0 * a @ b.T)
+    np.maximum(sq, 0.0, out=sq)
+    return np.exp(-gamma * sq)
+
+
+def linear_kernel(a, b, gamma=None):
+    """Gram matrix a @ b.T (gamma accepted for interface parity)."""
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    return a @ b.T
+
+
+class SVC:
+    """C-SVM binary classifier (labels in {0, 1}) with RBF/linear kernel.
+
+    Trained with a simplified Sequential Minimal Optimization: random
+    working-pair selection with KKT-violation screening, which is robust
+    and ample for the few-hundred-point training sets that active
+    exploration produces.
+
+    Parameters
+    ----------
+    C:
+        Soft-margin penalty.
+    kernel:
+        ``"rbf"`` or ``"linear"``.
+    gamma:
+        RBF width; ``None`` uses the 1/(d * var) "scale" heuristic.
+    """
+
+    def __init__(self, C=1.0, kernel="rbf", gamma=None, max_passes=5,
+                 max_iter=2000, tol=1e-3, seed=0):
+        if C <= 0:
+            raise ValueError("C must be positive")
+        if kernel not in ("rbf", "linear"):
+            raise ValueError("unknown kernel: {!r}".format(kernel))
+        self.C = C
+        self.kernel = kernel
+        self.gamma = gamma
+        self.max_passes = max_passes
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.support_vectors_ = None
+        self.dual_coef_ = None
+        self.intercept_ = 0.0
+        self._gamma_value = None
+
+    # ------------------------------------------------------------------
+    def _kernel(self, a, b):
+        if self.kernel == "rbf":
+            return rbf_kernel(a, b, self._gamma_value)
+        return linear_kernel(a, b)
+
+    def fit(self, features, labels):
+        """Train on features (n x d) and 0/1 labels (n,)."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        labels = np.asarray(labels).ravel()
+        if set(np.unique(labels)) - {0, 1}:
+            raise ValueError("labels must be 0/1")
+        n = features.shape[0]
+        if n < 2 or len(np.unique(labels)) < 2:
+            # Degenerate training set: constant classifier.
+            self.support_vectors_ = features[:1]
+            self.dual_coef_ = np.zeros(1)
+            self.intercept_ = 1.0 if labels.size and labels[0] == 1 else -1.0
+            self._gamma_value = self.gamma or 1.0
+            return self
+
+        y = np.where(labels == 1, 1.0, -1.0)
+        if self.gamma is None:
+            var = features.var()
+            self._gamma_value = 1.0 / (features.shape[1] * var) if var > 0 else 1.0
+        else:
+            self._gamma_value = self.gamma
+
+        gram = self._kernel(features, features)
+        alpha = np.zeros(n)
+        b = 0.0
+        rng = np.random.default_rng(self.seed)
+
+        def f(i):
+            return (alpha * y) @ gram[:, i] + b
+
+        passes, iters = 0, 0
+        while passes < self.max_passes and iters < self.max_iter:
+            changed = 0
+            for i in range(n):
+                err_i = f(i) - y[i]
+                if ((y[i] * err_i < -self.tol and alpha[i] < self.C)
+                        or (y[i] * err_i > self.tol and alpha[i] > 0)):
+                    j = int(rng.integers(n - 1))
+                    if j >= i:
+                        j += 1
+                    err_j = f(j) - y[j]
+                    alpha_i_old, alpha_j_old = alpha[i], alpha[j]
+                    if y[i] != y[j]:
+                        low = max(0.0, alpha[j] - alpha[i])
+                        high = min(self.C, self.C + alpha[j] - alpha[i])
+                    else:
+                        low = max(0.0, alpha[i] + alpha[j] - self.C)
+                        high = min(self.C, alpha[i] + alpha[j])
+                    if low >= high:
+                        continue
+                    eta = 2.0 * gram[i, j] - gram[i, i] - gram[j, j]
+                    if eta >= 0:
+                        continue
+                    alpha[j] -= y[j] * (err_i - err_j) / eta
+                    alpha[j] = np.clip(alpha[j], low, high)
+                    if abs(alpha[j] - alpha_j_old) < 1e-7:
+                        continue
+                    alpha[i] += y[i] * y[j] * (alpha_j_old - alpha[j])
+                    b1 = (b - err_i
+                          - y[i] * (alpha[i] - alpha_i_old) * gram[i, i]
+                          - y[j] * (alpha[j] - alpha_j_old) * gram[i, j])
+                    b2 = (b - err_j
+                          - y[i] * (alpha[i] - alpha_i_old) * gram[i, j]
+                          - y[j] * (alpha[j] - alpha_j_old) * gram[j, j])
+                    if 0 < alpha[i] < self.C:
+                        b = b1
+                    elif 0 < alpha[j] < self.C:
+                        b = b2
+                    else:
+                        b = 0.5 * (b1 + b2)
+                    changed += 1
+            iters += 1
+            passes = passes + 1 if changed == 0 else 0
+
+        support = alpha > 1e-8
+        if not support.any():
+            support[:] = True
+        self.support_vectors_ = features[support]
+        self.dual_coef_ = (alpha * y)[support]
+        self.intercept_ = float(b)
+        return self
+
+    # ------------------------------------------------------------------
+    def decision_function(self, features):
+        """Signed distance proxy; positive means class 1."""
+        if self.support_vectors_ is None:
+            raise RuntimeError("SVC.decision_function called before fit")
+        gram = self._kernel(np.atleast_2d(features), self.support_vectors_)
+        return gram @ self.dual_coef_ + self.intercept_
+
+    def predict(self, features):
+        """0/1 class labels."""
+        return (self.decision_function(features) > 0).astype(np.int64)

@@ -1,0 +1,18 @@
+"""From-scratch neural-network substrate (autograd, layers, optimizers).
+
+The paper implements its meta-learner on PyTorch; this package provides the
+equivalent functionality on plain numpy so the reproduction has no deep
+learning framework dependency.  See DESIGN.md section 2.
+"""
+
+from . import functional, init
+from .layers import MLP, Linear, Module, ReLU, Sequential, Sigmoid
+from .optim import Adam, Optimizer, SGD
+from .tensor import Parameter, Tensor, no_grad
+
+__all__ = [
+    "Tensor", "Parameter", "no_grad",
+    "Module", "Linear", "ReLU", "Sigmoid", "Sequential", "MLP",
+    "Optimizer", "SGD", "Adam",
+    "functional", "init",
+]

@@ -1,0 +1,128 @@
+"""Functional building blocks: losses, similarities, activations.
+
+These operate on :class:`repro.nn.tensor.Tensor` values and are composed by
+the LTE meta-learner (Section VI of the paper): binary cross-entropy for the
+classification loss (Eq. 12/13) and cosine similarity + softmax for the
+memory attention (Eq. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "sigmoid", "relu", "softmax", "log_softmax",
+    "binary_cross_entropy_with_logits", "balanced_pos_weight", "mse_loss",
+    "cosine_similarity",
+]
+
+_EPS = 1e-12
+
+
+def sigmoid(x):
+    """Numerically stable elementwise logistic function."""
+    return Tensor._wrap(x).sigmoid()
+
+
+def relu(x):
+    return Tensor._wrap(x).relu()
+
+
+def softmax(x, axis=-1):
+    """Softmax along ``axis`` (shift-invariant, stable)."""
+    x = Tensor._wrap(x)
+    shifted = x - np.max(x.data, axis=axis, keepdims=True)
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x, axis=-1):
+    x = Tensor._wrap(x)
+    shifted = x - np.max(x.data, axis=axis, keepdims=True)
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def binary_cross_entropy_with_logits(logits, targets, reduction="mean",
+                                     pos_weight=None):
+    """BCE loss on raw logits.
+
+    Uses the standard stable formulation
+    ``max(z, 0) - z*y + log(1 + exp(-|z|))`` so that no intermediate
+    overflows for large magnitude logits.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of raw classifier scores (any shape).
+    targets:
+        Array-like of 0/1 labels broadcastable to ``logits``.
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    pos_weight:
+        Optional scalar weight multiplying the positive-example terms —
+        counteracts class imbalance in few-shot exploration, where an
+        interest region often covers a small fraction of the labelled
+        tuples.
+    """
+    logits = Tensor._wrap(logits)
+    targets = np.asarray(
+        targets.data if isinstance(targets, Tensor) else targets,
+        dtype=np.float64)
+    # max(z,0) - z*y + log1p(exp(-|z|)), assembled from differentiable ops:
+    # relu(z) - z*y + softplus(-|z|)
+    softplus = (1.0 + (-logits.abs()).exp()).log()
+    losses = logits.relu() - logits * targets + softplus
+    if pos_weight is not None and pos_weight != 1.0:
+        weights = np.where(targets == 1.0, float(pos_weight), 1.0)
+        losses = losses * weights
+    if reduction == "mean":
+        return losses.mean()
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "none":
+        return losses
+    raise ValueError("unknown reduction: {!r}".format(reduction))
+
+
+def balanced_pos_weight(targets, cap=10.0):
+    """n_negative / n_positive, capped; 1.0 when a class is absent."""
+    targets = np.asarray(
+        targets.data if isinstance(targets, Tensor) else targets,
+        dtype=np.float64).ravel()
+    n_pos = float((targets == 1).sum())
+    n_neg = float((targets == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        return 1.0
+    return float(min(cap, n_neg / n_pos))
+
+
+def mse_loss(pred, target, reduction="mean"):
+    pred = Tensor._wrap(pred)
+    target = np.asarray(
+        target.data if isinstance(target, Tensor) else target,
+        dtype=np.float64)
+    losses = (pred - target) ** 2
+    if reduction == "mean":
+        return losses.mean()
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "none":
+        return losses
+    raise ValueError("unknown reduction: {!r}".format(reduction))
+
+
+def cosine_similarity(vector, matrix):
+    """Cosine similarity between a vector and each row of a matrix.
+
+    This is the ``Sim`` function of Eq. 7: given a UIS feature vector
+    ``v_R`` (length ku) and the memory matrix ``M_vR`` (m x ku), return the
+    length-m vector of cosine similarities.  Differentiable in both inputs.
+    """
+    vector = Tensor._wrap(vector)
+    matrix = Tensor._wrap(matrix)
+    dot = matrix @ vector
+    v_norm = ((vector * vector).sum() + _EPS).sqrt()
+    m_norm = ((matrix * matrix).sum(axis=1) + _EPS).sqrt()
+    return dot / (v_norm * m_norm)

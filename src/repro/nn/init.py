@@ -1,0 +1,26 @@
+"""Weight initialization schemes for the NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "normal", "zeros"]
+
+
+def kaiming_uniform(fan_in, fan_out, rng):
+    """He/Kaiming uniform init, the default for ReLU networks."""
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def xavier_uniform(fan_in, fan_out, rng):
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def normal(shape, rng, std=0.01):
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape):
+    return np.zeros(shape)

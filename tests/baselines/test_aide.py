@@ -1,0 +1,56 @@
+"""Tests for the AIDE decision-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AIDEExplorer
+from repro.explore.metrics import f1_score
+from repro.geometry import BoxRegion
+
+
+REGION = BoxRegion([2000.0, 30.0], [6000.0, 70.0])  # raw, non-unit scales
+
+
+def rows(n=3000, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.column_stack([rng.uniform(0, 10_000, n),
+                            rng.uniform(0, 100, n)])
+
+
+def label_fn(points):
+    return REGION.label(points)
+
+
+class TestAIDE:
+    def test_learns_axis_aligned_region(self):
+        explorer = AIDEExplorer(budget=40, pool_size=600, seed=0)
+        explorer.explore(rows(), label_fn)
+        test = rows(seed=9)
+        f1 = f1_score(REGION.label(test), explorer.predict(test))
+        assert f1 > 0.6  # AIDE's home turf: axis-aligned linear regions
+
+    def test_predict_before_explore(self):
+        with pytest.raises(RuntimeError):
+            AIDEExplorer().predict(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            AIDEExplorer().relevant_boxes()
+
+    def test_relevant_boxes_in_raw_coordinates(self):
+        explorer = AIDEExplorer(budget=30, pool_size=600, seed=1)
+        explorer.explore(rows(), label_fn)
+        boxes = explorer.relevant_boxes()
+        assert boxes
+        for lo, hi in boxes:
+            assert (lo <= hi + 1e-9).all()
+            assert hi[0] <= 10_000 + 1e-6  # raw attribute scale preserved
+
+    def test_binary_predictions(self):
+        explorer = AIDEExplorer(budget=20, pool_size=400, seed=2)
+        explorer.explore(rows(1000), label_fn)
+        preds = explorer.predict(rows(100, seed=3))
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_labels_used_recorded(self):
+        explorer = AIDEExplorer(budget=15, pool_size=300, seed=3)
+        explorer.explore(rows(800), label_fn)
+        assert explorer.labels_used_ == 15

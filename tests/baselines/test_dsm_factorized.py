@@ -1,0 +1,91 @@
+"""Tests for the factorized DSM variant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dsm_factorized import FactorizedDSMExplorer
+from repro.core import LTE, LTEConfig
+from repro.core.meta_training import MetaHyperParams
+from repro.core.uis import UISMode
+from repro.data import make_sdss
+from repro.explore import ConjunctiveOracle, f1_score
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.bench import subspace_region
+    table = make_sdss(n_rows=3000, seed=101)
+    lte = LTE(LTEConfig(budget=25, ku=30, kq=40, n_tasks=5,
+                        meta=MetaHyperParams(epochs=1, local_steps=2,
+                                             pretrain_epochs=1)))
+    lte.fit_offline(table, train=False)
+    subspaces = list(lte.states)[:2]
+    rng = np.random.default_rng(3)
+    regions = {s: subspace_region(lte.states[s], UISMode(1, 15),
+                                  seed=int(rng.integers(2 ** 31)))
+               for s in subspaces}
+    return lte, subspaces, ConjunctiveOracle(regions)
+
+
+def fitted_explorer(lte, subspaces, oracle, n_labels=40, seed=0):
+    explorer = FactorizedDSMExplorer(
+        {s: lte.states[s] for s in subspaces}, seed=seed)
+    rng = np.random.default_rng(seed)
+    for subspace in subspaces:
+        raw = subspace.project(lte.table.data)
+        tuples = raw[rng.choice(len(raw), n_labels, replace=False)]
+        labels = oracle.ground_truth_subspace(subspace, tuples)
+        explorer.fit_subspace(subspace, tuples, labels)
+    return explorer
+
+
+class TestFactorizedDSM:
+    def test_learns_convex_conjunctive_region(self, setup):
+        lte, subspaces, oracle = setup
+        explorer = fitted_explorer(lte, subspaces, oracle)
+        rows = lte.table.sample_rows(1500, seed=7)
+        f1 = f1_score(oracle.ground_truth(rows), explorer.predict(rows))
+        assert f1 > 0.5  # convex truth, per-subspace budget: home turf
+
+    def test_prediction_is_conjunction(self, setup):
+        lte, subspaces, oracle = setup
+        explorer = fitted_explorer(lte, subspaces, oracle)
+        rows = lte.table.sample_rows(300, seed=8)
+        joint = explorer.predict(rows)
+        manual = np.ones(len(rows), dtype=int)
+        for subspace in subspaces:
+            manual &= explorer.predict_subspace(subspace,
+                                                subspace.project(rows))
+        assert np.array_equal(joint, manual)
+
+    def test_certified_predictions_sound_per_subspace(self, setup):
+        lte, subspaces, oracle = setup
+        explorer = fitted_explorer(lte, subspaces, oracle, seed=1)
+        subspace = subspaces[0]
+        model = explorer._models[subspace]
+        raw = subspace.project(lte.table.sample_rows(800, seed=9))
+        scaled = model.state.to_scaled(raw)
+        codes = model.polytope.three_set_partition(scaled)
+        truth = oracle.ground_truth_subspace(subspace, raw)
+        certified = codes != -1
+        # Convex truth => every certificate correct.
+        assert np.array_equal(codes[certified], truth[certified])
+
+    def test_three_set_metric_unit_interval(self, setup):
+        lte, subspaces, oracle = setup
+        explorer = fitted_explorer(lte, subspaces, oracle, seed=2)
+        rows = lte.table.sample_rows(400, seed=10)
+        assert 0.0 <= explorer.three_set_metric(rows) <= 1.0
+
+    def test_unfitted_errors(self, setup):
+        lte, subspaces, _ = setup
+        explorer = FactorizedDSMExplorer(
+            {s: lte.states[s] for s in subspaces})
+        with pytest.raises(RuntimeError):
+            explorer.predict(np.zeros((2, 8)))
+        with pytest.raises(RuntimeError):
+            explorer.predict_subspace(subspaces[0], np.zeros((2, 2)))
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            FactorizedDSMExplorer({})

@@ -1,0 +1,96 @@
+"""Tests for the AL-SVM and DSM full-space explorers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALSVMExplorer, DSMExplorer
+from repro.explore.metrics import f1_score
+from repro.geometry import BoxRegion
+
+
+REGION = BoxRegion([0.25, 0.25], [0.75, 0.75])
+
+
+def uniform_rows(n=3000, seed=0):
+    return np.random.default_rng(seed).uniform(0, 1, size=(n, 2))
+
+
+def label_fn(points):
+    return REGION.label(points)
+
+
+class TestALSVM:
+    def test_learns_box_region(self):
+        rows = uniform_rows()
+        explorer = ALSVMExplorer(budget=40, pool_size=500, seed=0)
+        explorer.explore(rows, label_fn)
+        test = uniform_rows(seed=9)
+        f1 = f1_score(REGION.label(test), explorer.predict(test))
+        assert f1 > 0.6
+
+    def test_predict_before_explore(self):
+        with pytest.raises(RuntimeError):
+            ALSVMExplorer().predict(np.zeros((2, 2)))
+
+    def test_labels_used_recorded(self):
+        explorer = ALSVMExplorer(budget=10, pool_size=200, seed=0)
+        explorer.explore(uniform_rows(800), label_fn)
+        assert explorer.labels_used_ == 10
+
+    def test_prediction_binary(self):
+        explorer = ALSVMExplorer(budget=10, pool_size=200, seed=0)
+        explorer.explore(uniform_rows(800), label_fn)
+        preds = explorer.predict(uniform_rows(100, seed=2))
+        assert set(np.unique(preds)) <= {0, 1}
+
+
+class TestDSM:
+    def test_learns_box_region_better_than_chance(self):
+        rows = uniform_rows()
+        explorer = DSMExplorer(budget=40, pool_size=500, seed=0)
+        explorer.explore(rows, label_fn)
+        test = uniform_rows(seed=9)
+        f1 = f1_score(REGION.label(test), explorer.predict(test))
+        assert f1 > 0.6
+
+    def test_three_set_metric_monotone_nondecreasing_overall(self):
+        rows = uniform_rows()
+        explorer = DSMExplorer(budget=30, pool_size=400, seed=0,
+                               metric_every=5)
+        explorer.explore(rows, label_fn)
+        history = explorer.three_set_history_
+        assert len(history) == 6  # sampled every 5 labels
+        # The certified fraction generally grows as labels accumulate.
+        assert history[-1] >= history[0]
+        assert 0.0 <= min(history) and max(history) <= 1.0
+
+    def test_certified_positive_points_predicted_positive(self):
+        rows = uniform_rows()
+        explorer = DSMExplorer(budget=30, pool_size=400, seed=1)
+        explorer.explore(rows, label_fn)
+        test = uniform_rows(500, seed=3)
+        scaled = explorer.scaler.transform(test)
+        codes = explorer.polytope.three_set_partition(scaled)
+        preds = explorer.predict(test)
+        assert (preds[codes == 1] == 1).all()
+        assert (preds[codes == 0] == 0).all()
+
+    def test_predict_before_explore(self):
+        with pytest.raises(RuntimeError):
+            DSMExplorer().predict(np.zeros((2, 2)))
+
+    def test_dsm_beats_alsvm_on_convex_2d(self):
+        """The polytope certificates should give DSM an edge on its home
+        turf (convex region, low dimension) — the paper's Fig. 5(a)."""
+        rows = uniform_rows()
+        test = uniform_rows(seed=11)
+        truth = REGION.label(test)
+        scores = {}
+        for name, cls in (("dsm", DSMExplorer), ("al_svm", ALSVMExplorer)):
+            vals = []
+            for seed in range(3):
+                explorer = cls(budget=30, pool_size=400, seed=seed)
+                explorer.explore(rows, label_fn)
+                vals.append(f1_score(truth, explorer.predict(test)))
+            scores[name] = np.mean(vals)
+        assert scores["dsm"] >= scores["al_svm"] - 0.1

@@ -1,0 +1,78 @@
+"""Tests for the per-subspace SVM / SVMr competitors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SubspaceSVMExplorer
+from repro.core import LTE, LTEConfig
+from repro.core.meta_training import MetaHyperParams
+from repro.data import make_sdss
+from repro.geometry import BoxRegion
+
+
+@pytest.fixture(scope="module")
+def prepared_lte():
+    table = make_sdss(n_rows=2500, seed=31)
+    lte = LTE(LTEConfig(budget=20, ku=30, kq=40, n_tasks=5,
+                        meta=MetaHyperParams(epochs=1, local_steps=2,
+                                             pretrain_epochs=1),
+                        basic_steps=10))
+    lte.fit_offline(table, train=False)
+    return lte
+
+
+def region_for(state, table):
+    raw = state.subspace.project(table.data)
+    lo = raw.min(axis=0)
+    hi = raw.max(axis=0)
+    mid = (lo + hi) / 2
+    return BoxRegion(lo, mid)  # lower-left quadrant, raw coordinates
+
+
+class TestSubspaceSVM:
+    @pytest.mark.parametrize("encoded", [False, True])
+    def test_fits_and_predicts_conjunction(self, prepared_lte, encoded):
+        subspaces = list(prepared_lte.states)[:2]
+        explorer = SubspaceSVMExplorer(
+            {s: prepared_lte.states[s] for s in subspaces}, encoded=encoded,
+            seed=0)
+        regions = {s: region_for(prepared_lte.states[s], prepared_lte.table)
+                   for s in subspaces}
+        rng = np.random.default_rng(0)
+        for subspace in subspaces:
+            raw = subspace.project(prepared_lte.table.data)
+            tuples = raw[rng.choice(len(raw), 40, replace=False)]
+            explorer.fit_subspace(subspace, tuples,
+                                  regions[subspace].label(tuples))
+        rows = prepared_lte.table.sample_rows(300, seed=1)
+        preds = explorer.predict(rows)
+        assert preds.shape == (300,)
+        joint = np.ones(300, dtype=int)
+        for subspace in subspaces:
+            joint &= explorer.predict_subspace(subspace,
+                                               subspace.project(rows))
+        assert np.array_equal(preds, joint)
+
+    def test_unfitted_subspace_raises(self, prepared_lte):
+        subspaces = list(prepared_lte.states)[:1]
+        explorer = SubspaceSVMExplorer(
+            {s: prepared_lte.states[s] for s in subspaces}, seed=0)
+        with pytest.raises(RuntimeError):
+            explorer.predict_subspace(subspaces[0], np.zeros((2, 2)))
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            SubspaceSVMExplorer({})
+
+    def test_encoded_uses_preprocessor_width(self, prepared_lte):
+        subspace = list(prepared_lte.states)[0]
+        state = prepared_lte.states[subspace]
+        explorer = SubspaceSVMExplorer({subspace: state}, encoded=True,
+                                       seed=0)
+        rng = np.random.default_rng(2)
+        raw = subspace.project(prepared_lte.table.data)
+        tuples = raw[rng.choice(len(raw), 30, replace=False)]
+        region = region_for(state, prepared_lte.table)
+        explorer.fit_subspace(subspace, tuples, region.label(tuples))
+        features = explorer._featurize(subspace, tuples[:5])
+        assert features.shape == (5, state.preprocessor.width)

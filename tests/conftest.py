@@ -1,0 +1,58 @@
+"""Shared fixtures: small datasets and pre-built LTE artifacts.
+
+Session-scoped so the expensive pieces (clustering, preprocessing,
+meta-training) are built once per pytest run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.meta_task import MetaTaskGenerator
+from repro.core.preprocessing import TabularPreprocessor
+from repro.core.uis import UISMode
+from repro.data import make_car, make_sdss
+
+
+@pytest.fixture(scope="session")
+def sdss_small():
+    return make_sdss(n_rows=4000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def car_small():
+    return make_car(n_rows=4000, seed=13)
+
+
+@pytest.fixture(scope="session")
+def subspace_data(sdss_small):
+    """2-D (ra, dec) projection used by most core tests."""
+    return sdss_small.data[:, [2, 3]]
+
+
+@pytest.fixture(scope="session")
+def subspace_attrs(sdss_small):
+    return [sdss_small.attributes[2], sdss_small.attributes[3]]
+
+
+@pytest.fixture(scope="session")
+def task_generator(subspace_data):
+    return MetaTaskGenerator(subspace_data, ku=40, ks=15, kq=60,
+                             mode=UISMode(alpha=2, psi=8), delta=5, seed=3)
+
+
+@pytest.fixture(scope="session")
+def preprocessor(subspace_data, subspace_attrs, task_generator):
+    prep = TabularPreprocessor(subspace_attrs, n_components=4, seed=3)
+    prep.fit(subspace_data)
+    prep.attach_centers(task_generator.summary.centers_u)
+    return prep
+
+
+@pytest.fixture(scope="session")
+def meta_tasks(task_generator):
+    return task_generator.generate(12)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

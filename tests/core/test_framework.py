@@ -1,0 +1,166 @@
+"""Integration-level tests for the LTE framework and sessions."""
+
+import numpy as np
+import pytest
+
+from repro.core import LTE, LTEConfig
+from repro.core.meta_training import MetaHyperParams
+from repro.core.uis import UISMode
+from repro.data import make_sdss
+from repro.explore import ConjunctiveOracle, run_lte_exploration
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        budget=20, ku=30, kq=40, n_tasks=10,
+        meta=MetaHyperParams(epochs=1, local_steps=3, batch_size=5,
+                             pretrain_epochs=1),
+        basic_steps=20, online_steps=5,
+    )
+    defaults.update(overrides)
+    return LTEConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def fitted_lte():
+    table = make_sdss(n_rows=3000, seed=21)
+    lte = LTE(quick_config())
+    lte.fit_offline(table)
+    return lte
+
+
+@pytest.fixture(scope="module")
+def oracle(fitted_lte):
+    from repro.bench import subspace_region
+    regions = {}
+    rng = np.random.default_rng(5)
+    for subspace in list(fitted_lte.states)[:2]:
+        state = fitted_lte.states[subspace]
+        regions[subspace] = subspace_region(
+            state, UISMode(1, 12), seed=int(rng.integers(2 ** 31)))
+    return ConjunctiveOracle(regions)
+
+
+class TestConfig:
+    def test_ks_derived_from_budget(self):
+        assert LTEConfig(budget=30, delta=5).ks == 25
+
+    def test_budget_must_exceed_delta(self):
+        with pytest.raises(ValueError):
+            LTEConfig(budget=5, delta=5).ks
+
+
+class TestOffline:
+    def test_states_cover_decomposition(self, fitted_lte):
+        assert len(fitted_lte.states) == 4  # 8 attrs in 2-D groups
+        for state in fitted_lte.states.values():
+            assert state.trainer is not None
+            assert state.preprocessor.width > 0
+
+    def test_offline_time_recorded(self, fitted_lte):
+        assert fitted_lte.offline_seconds_ > 0
+
+    def test_train_false_skips_training(self):
+        table = make_sdss(n_rows=2000, seed=22)
+        lte = LTE(quick_config())
+        lte.fit_offline(table, train=False)
+        assert all(s.trainer is None for s in lte.states.values())
+
+    def test_explicit_subspaces(self):
+        from repro.data.subspaces import Subspace
+        table = make_sdss(n_rows=2000, seed=23)
+        sub = Subspace(["ra", "dec"], [2, 3])
+        lte = LTE(quick_config())
+        lte.fit_offline(table, subspaces=[sub])
+        assert list(lte.states) == [sub]
+
+
+class TestSession:
+    def test_variant_validation(self, fitted_lte):
+        with pytest.raises(ValueError):
+            fitted_lte.start_session(variant="super")
+
+    def test_session_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LTE(quick_config()).start_session()
+
+    def test_unknown_subspace_raises(self, fitted_lte):
+        from repro.data.subspaces import Subspace
+        with pytest.raises(KeyError):
+            fitted_lte.start_session(
+                subspaces=[Subspace(["nope"], [0])])
+
+    def test_initial_tuples_budget(self, fitted_lte):
+        session = fitted_lte.start_session(variant="meta")
+        tuples = session.initial_tuples()
+        for subspace, pts in tuples.items():
+            assert len(pts) == fitted_lte.config.budget
+        assert session.total_budget == 4 * fitted_lte.config.budget
+
+    def test_predict_before_labels_raises(self, fitted_lte):
+        session = fitted_lte.start_session(variant="meta")
+        with pytest.raises(RuntimeError):
+            session.predict(fitted_lte.table.data[:5])
+
+    def test_label_count_validated(self, fitted_lte):
+        session = fitted_lte.start_session(variant="meta")
+        subspace = session.subspaces[0]
+        with pytest.raises(ValueError):
+            session.submit_labels(subspace, np.ones(3))
+
+    def test_adapt_seconds_none_until_all_labelled(self, fitted_lte, oracle):
+        subspaces = list(oracle.subspace_regions)
+        session = fitted_lte.start_session(variant="meta",
+                                           subspaces=subspaces)
+        assert session.adapt_seconds is None
+        for subspace, pts in session.initial_tuples().items():
+            session.submit_labels(subspace,
+                                  oracle.label_subspace(subspace, pts))
+        assert session.adapt_seconds > 0
+
+
+class TestVariants:
+    @pytest.mark.parametrize("variant", ["basic", "meta", "meta_star"])
+    def test_end_to_end_prediction(self, fitted_lte, oracle, variant):
+        rows = fitted_lte.table.sample_rows(300, seed=1)
+        result = run_lte_exploration(
+            fitted_lte, oracle, rows, variant=variant,
+            subspaces=list(oracle.subspace_regions))
+        assert 0.0 <= result.f1 <= 1.0
+        assert result.predictions.shape == (300,)
+        assert set(np.unique(result.predictions)) <= {0, 1}
+        assert result.labels_used == 2 * fitted_lte.config.budget
+
+    def test_meta_star_has_optimizer(self, fitted_lte, oracle):
+        subspaces = list(oracle.subspace_regions)
+        session = fitted_lte.start_session(variant="meta_star",
+                                           subspaces=subspaces)
+        for subspace, pts in session.initial_tuples().items():
+            session.submit_labels(subspace,
+                                  oracle.label_subspace(subspace, pts))
+        subsession = session._subsessions[subspaces[0]]
+        assert subsession.optimizer is not None
+
+    def test_meta_has_no_optimizer(self, fitted_lte, oracle):
+        subspaces = list(oracle.subspace_regions)
+        session = fitted_lte.start_session(variant="meta",
+                                           subspaces=subspaces)
+        for subspace, pts in session.initial_tuples().items():
+            session.submit_labels(subspace,
+                                  oracle.label_subspace(subspace, pts))
+        assert session._subsessions[subspaces[0]].optimizer is None
+
+    def test_prediction_is_conjunction(self, fitted_lte, oracle):
+        subspaces = list(oracle.subspace_regions)
+        session = fitted_lte.start_session(variant="meta",
+                                           subspaces=subspaces)
+        for subspace, pts in session.initial_tuples().items():
+            session.submit_labels(subspace,
+                                  oracle.label_subspace(subspace, pts))
+        rows = fitted_lte.table.sample_rows(200, seed=2)
+        joint = session.predict(rows)
+        per_subspace = np.ones(len(rows), dtype=int)
+        for subspace in subspaces:
+            per_subspace &= session.predict_subspace(
+                subspace, subspace.project(rows))
+        assert np.array_equal(joint, per_subspace)

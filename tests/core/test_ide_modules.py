@@ -1,0 +1,117 @@
+"""Tests for the auxiliary IDE modules: convergence estimate, final
+retrieval, dynamic maintenance (drift), and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import LTE, LTEConfig
+from repro.core.meta_training import MetaHyperParams
+from repro.core.uis import UISMode
+from repro.data import Table, make_sdss
+from repro.explore import ConjunctiveOracle
+
+
+@pytest.fixture(scope="module")
+def system():
+    from repro.bench import subspace_region
+    table = make_sdss(n_rows=3000, seed=61)
+    lte = LTE(LTEConfig(budget=20, ku=30, kq=40, n_tasks=10,
+                        meta=MetaHyperParams(epochs=1, local_steps=3,
+                                             pretrain_epochs=1),
+                        basic_steps=15, online_steps=5))
+    lte.fit_offline(table)
+    subspace = list(lte.states)[0]
+    region = subspace_region(lte.states[subspace], UISMode(1, 12), seed=4)
+    oracle = ConjunctiveOracle({subspace: region})
+    return lte, table, subspace, oracle
+
+
+def labelled_session(lte, subspace, oracle, variant="meta_star"):
+    session = lte.start_session(variant=variant, subspaces=[subspace])
+    tuples = session.initial_tuples()[subspace]
+    session.submit_labels(subspace, oracle.label_subspace(subspace, tuples))
+    return session
+
+
+class TestConvergence:
+    def test_estimate_in_unit_interval(self, system):
+        lte, _, subspace, oracle = system
+        session = labelled_session(lte, subspace, oracle)
+        estimate = session.convergence_estimate(subspace, sample_rows=200)
+        assert 0.0 <= estimate <= 1.0
+
+    def test_requires_meta_star(self, system):
+        lte, _, subspace, oracle = system
+        session = labelled_session(lte, subspace, oracle, variant="meta")
+        with pytest.raises(RuntimeError):
+            session.convergence_estimate(subspace)
+
+
+class TestRetrieve:
+    def test_retrieved_rows_predicted_interesting(self, system):
+        lte, table, subspace, oracle = system
+        session = labelled_session(lte, subspace, oracle)
+        rows = table.sample_rows(400, seed=0)
+        retrieved = session.retrieve(rows)
+        if len(retrieved):
+            assert (session.predict(retrieved) == 1).all()
+
+    def test_limit(self, system):
+        lte, table, subspace, oracle = system
+        session = labelled_session(lte, subspace, oracle)
+        retrieved = session.retrieve(table.sample_rows(400, seed=0), limit=3)
+        assert len(retrieved) <= 3
+
+    def test_defaults_to_full_table(self, system):
+        lte, table, subspace, oracle = system
+        session = labelled_session(lte, subspace, oracle)
+        retrieved = session.retrieve()
+        assert retrieved.shape[1] == table.n_attributes
+
+
+class TestDrift:
+    def test_same_distribution_near_zero(self, system):
+        lte, table, _, _ = system
+        scores = lte.drift_scores(table)
+        assert set(scores) == set(lte.states)
+        for score in scores.values():
+            assert abs(score) < 0.5
+
+    def test_shifted_distribution_detected(self, system):
+        lte, table, _, _ = system
+        # Shift + squash one attribute pair far outside the training range.
+        shifted = table.data.copy()
+        shifted[:, :] = shifted[:, :] * 0.2 + shifted.max(axis=0) * 2
+        drifted = Table("drifted", table.attributes, shifted)
+        scores = lte.drift_scores(drifted)
+        assert max(scores.values()) > 0.5
+
+    def test_refresh_rebuilds_state(self, system):
+        lte, table, subspace, _ = system
+        old_state = lte.states[subspace]
+        new_state = lte.refresh_subspace(table, subspace, train=False)
+        assert new_state is lte.states[subspace]
+        assert new_state is not old_state
+        assert new_state.trainer is None
+        # Restore a trained state for other tests.
+        lte.train_subspace(subspace)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, system, tmp_path):
+        lte, table, subspace, oracle = system
+        path = tmp_path / "lte.pkl"
+        lte.save(path)
+        loaded = LTE.load(path)
+        assert set(loaded.states) == set(lte.states)
+        session = labelled_session(loaded, subspace, oracle)
+        preds = session.predict(table.sample_rows(100, seed=1))
+        assert preds.shape == (100,)
+
+    def test_load_rejects_non_lte(self, tmp_path):
+        import pickle
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"not": "lte"}, fh)
+        with pytest.raises(TypeError):
+            LTE.load(path)

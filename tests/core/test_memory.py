@@ -1,0 +1,133 @@
+"""Tests for the memory-augmented optimization structures (Section VI-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memory import MetaMemories, softmax_cosine_attention
+
+
+def make_memories(m=3, ku=8, theta=12, ne=4, seed=0):
+    return MetaMemories(m=m, ku=ku, theta_r_size=theta, embed_size=ne,
+                        seed=seed)
+
+
+class TestAttention:
+    def test_is_probability_simplex(self):
+        mem = make_memories()
+        a = mem.attention(np.random.default_rng(0).normal(size=8))
+        assert a.shape == (3,)
+        assert np.isclose(a.sum(), 1.0)
+        assert (a >= 0).all()
+
+    def test_aligned_pattern_gets_most_attention(self):
+        mem = make_memories()
+        pattern = mem.M_vR[1]
+        a = mem.attention(pattern * 10)
+        assert a.argmax() == 1
+
+    def test_softmax_cosine_standalone(self):
+        matrix = np.eye(3)
+        a = softmax_cosine_attention(np.array([1.0, 0, 0]), matrix)
+        assert a.argmax() == 0
+
+
+class TestRetrieval:
+    def test_omega_shape(self):
+        mem = make_memories()
+        a = mem.attention(np.ones(8))
+        assert mem.omega_r(a).shape == (12,)
+
+    def test_conversion_shape(self):
+        mem = make_memories()
+        a = mem.attention(np.ones(8))
+        assert mem.conversion(a).shape == (4, 12)
+
+    def test_conversion_initialized_near_averaging(self):
+        mem = make_memories()
+        a = np.array([1.0, 0.0, 0.0])
+        conv = mem.conversion(a)
+        base = np.hstack([np.eye(4)] * 3) / 3.0
+        assert np.allclose(conv, base, atol=0.1)
+
+    def test_retrieval_is_attention_weighted(self):
+        mem = make_memories()
+        one_hot = np.array([0.0, 1.0, 0.0])
+        assert np.allclose(mem.omega_r(one_hot), mem.M_R[1])
+        assert np.allclose(mem.conversion(one_hot), mem.M_CP[1])
+
+
+class TestUpdates:
+    def test_feature_pattern_ema(self):
+        mem = make_memories()
+        v = np.ones(8)
+        a = np.array([0.5, 0.3, 0.2])
+        before = mem.M_vR.copy()
+        mem.update_feature_patterns(a, v, eta=0.1)
+        expected = 0.1 * np.outer(a, v) + 0.9 * before
+        assert np.allclose(mem.M_vR, expected)
+
+    def test_parameter_memory_ema(self):
+        mem = make_memories()
+        grad = np.arange(12, dtype=float)
+        a = np.array([1.0, 0.0, 0.0])
+        before = mem.M_R.copy()
+        mem.update_parameter_memory(a, grad, beta=0.2)
+        expected = 0.2 * np.outer(a, grad) + 0.8 * before
+        assert np.allclose(mem.M_R, expected)
+
+    def test_conversion_memory_ema(self):
+        mem = make_memories()
+        local = np.random.default_rng(1).normal(size=(4, 12))
+        a = np.array([0.2, 0.3, 0.5])
+        before = mem.M_CP.copy()
+        mem.update_conversion_memory(a, local, gamma=0.4)
+        expected = 0.4 * a[:, None, None] * local[None] + 0.6 * before
+        assert np.allclose(mem.M_CP, expected)
+
+    def test_rate_validation(self):
+        mem = make_memories()
+        with pytest.raises(ValueError):
+            mem.update_feature_patterns(np.ones(3) / 3, np.ones(8), eta=1.5)
+        with pytest.raises(ValueError):
+            mem.update_parameter_memory(np.ones(3) / 3, np.ones(12), beta=-1)
+
+    def test_shape_validation(self):
+        mem = make_memories()
+        with pytest.raises(ValueError):
+            mem.update_parameter_memory(np.ones(3) / 3, np.ones(5), beta=0.1)
+        with pytest.raises(ValueError):
+            mem.update_conversion_memory(np.ones(3) / 3, np.zeros((2, 2)),
+                                         gamma=0.1)
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        mem = make_memories(seed=1)
+        other = make_memories(seed=2)
+        other.load_state_dict(mem.state_dict())
+        assert np.allclose(mem.M_vR, other.M_vR)
+        assert np.allclose(mem.M_R, other.M_R)
+        assert np.allclose(mem.M_CP, other.M_CP)
+
+    def test_state_dict_detached(self):
+        mem = make_memories()
+        state = mem.state_dict()
+        state["M_vR"][:] = 0
+        assert not np.allclose(mem.M_vR, 0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        MetaMemories(m=0, ku=4, theta_r_size=4, embed_size=2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 5), st.integers(0, 200))
+def test_property_attention_always_simplex(m, seed):
+    rng = np.random.default_rng(seed)
+    mem = MetaMemories(m=m, ku=6, theta_r_size=4, embed_size=2, seed=seed)
+    a = mem.attention(rng.normal(size=6))
+    assert np.isclose(a.sum(), 1.0)
+    assert (a >= 0).all() and (a <= 1).all()

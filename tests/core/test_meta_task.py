@@ -1,0 +1,125 @@
+"""Tests for meta-task generation (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.meta_task import (MetaTaskGenerator, build_cluster_summary,
+                                  expand_bits, uis_feature_vector)
+from repro.core.uis import UISMode
+
+
+class TestClusterSummary:
+    def test_shapes(self, subspace_data):
+        summary = build_cluster_summary(subspace_data, ku=20, ks=8, kq=30,
+                                        seed=0)
+        assert summary.centers_u.shape == (20, 2)
+        assert summary.centers_s.shape == (8, 2)
+        assert summary.centers_q.shape == (30, 2)
+        assert summary.proximity_u.shape == (20, 20)
+        assert summary.proximity_s.shape == (8, 20)
+
+    def test_proximity_u_symmetric_zero_diagonal(self, subspace_data):
+        summary = build_cluster_summary(subspace_data, ku=15, ks=5, kq=10,
+                                        seed=1)
+        assert np.allclose(summary.proximity_u, summary.proximity_u.T)
+        assert np.allclose(np.diag(summary.proximity_u), 0, atol=1e-6)
+
+    def test_k_properties(self, subspace_data):
+        summary = build_cluster_summary(subspace_data, ku=12, ks=6, kq=9,
+                                        seed=2)
+        assert summary.ku == 12 and summary.ks == 6 and summary.kq == 9
+
+
+class TestExpandBits:
+    def grid_summary(self):
+        return build_cluster_summary(
+            np.random.default_rng(0).uniform(0, 10, size=(500, 2)),
+            ku=20, ks=6, kq=8, seed=0)
+
+    def test_zero_bits_give_zero_vector(self):
+        summary = self.grid_summary()
+        vec = expand_bits(np.zeros(6), summary.proximity_s, 20, expansion=3)
+        assert vec.sum() == 0
+
+    def test_each_set_bit_lights_expansion_neighbours(self):
+        summary = self.grid_summary()
+        bits = np.zeros(6)
+        bits[2] = 1
+        vec = expand_bits(bits, summary.proximity_s, 20, expansion=3)
+        assert vec.sum() == 3
+        expected = np.argsort(summary.proximity_s[2])[:3]
+        assert np.allclose(np.flatnonzero(vec), np.sort(expected))
+
+    def test_expansion_clipped_to_ku(self):
+        summary = self.grid_summary()
+        vec = expand_bits(np.ones(6), summary.proximity_s, 20, expansion=999)
+        assert vec.sum() == 20
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            expand_bits(np.ones(3), np.zeros((4, 7)), 7, 2)
+
+    def test_default_expansion_is_tenth_of_ku(self):
+        summary = self.grid_summary()
+        bits = np.zeros(6)
+        bits[0] = 1
+        vec = uis_feature_vector(bits, summary)
+        assert vec.sum() == max(1, round(0.1 * 20))
+
+
+class TestMetaTaskGenerator:
+    def test_task_structure(self, task_generator):
+        task = task_generator.generate_task()
+        ks, kq = task_generator.summary.ks, task_generator.summary.kq
+        assert task.support_x.shape == (ks + 5, 2)
+        assert task.support_y.shape == (ks + 5,)
+        assert task.query_x.shape == (kq + 5, 2)
+        assert task.feature_vector.shape == (task_generator.summary.ku,)
+
+    def test_labels_match_region_membership(self, task_generator):
+        for _ in range(5):
+            task = task_generator.generate_task()
+            assert np.array_equal(task.support_y,
+                                  task.region.label(task.support_x))
+            assert np.array_equal(task.query_y,
+                                  task.region.label(task.query_x))
+
+    def test_support_prefix_is_cs_centers(self, task_generator):
+        task = task_generator.generate_task()
+        ks = task_generator.summary.ks
+        assert np.allclose(task.support_x[:ks],
+                           task_generator.summary.centers_s)
+
+    def test_feature_vector_is_binary(self, task_generator):
+        task = task_generator.generate_task()
+        assert set(np.unique(task.feature_vector)) <= {0.0, 1.0}
+
+    def test_generate_count(self, task_generator):
+        assert len(task_generator.generate(7)) == 7
+        with pytest.raises(ValueError):
+            task_generator.generate(0)
+
+    def test_positive_rate_property(self, task_generator):
+        task = task_generator.generate_task()
+        assert 0.0 <= task.positive_rate <= 1.0
+
+    def test_no_delta(self, subspace_data):
+        gen = MetaTaskGenerator(subspace_data, ku=15, ks=6, kq=10,
+                                mode=UISMode(1, 5), delta=0, seed=0)
+        task = gen.generate_task()
+        assert task.support_x.shape == (6, 2)
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(0, 50))
+def test_property_feature_vector_nonempty_iff_positive_center(seed):
+    """v_R has set bits exactly when some C_s center is labelled positive."""
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0, 10, size=(600, 2))
+    gen = MetaTaskGenerator(data, ku=15, ks=6, kq=8, mode=UISMode(1, 5),
+                            delta=3, seed=seed)
+    task = gen.generate_task()
+    has_positive_center = task.support_y[:6].any()
+    assert bool(task.feature_vector.any()) == bool(has_positive_center)

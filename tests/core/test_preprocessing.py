@@ -1,0 +1,167 @@
+"""Tests for tabular preprocessing (Algorithm 3) and its encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.preprocessing import (CenterAffinityEncoder, GMMEncoder,
+                                      JKCEncoder, MinMaxEncoder,
+                                      TabularPreprocessor)
+from repro.data import Attribute
+
+
+def bimodal(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.concatenate([rng.normal(0, 1, n // 2),
+                           rng.normal(20, 1, n // 2)])
+
+
+class TestGMMEncoder:
+    def test_width_and_one_hot(self):
+        enc = GMMEncoder(n_components=4, seed=0).fit(bimodal())
+        out = enc.transform(bimodal(seed=1)[:50])
+        assert out.shape == (50, 5)
+        onehot = out[:, :4]
+        assert np.allclose(onehot.sum(axis=1), 1.0)
+        assert set(np.unique(onehot)) <= {0.0, 1.0}
+
+    def test_positional_part_in_unit_interval(self):
+        enc = GMMEncoder(n_components=3, seed=0).fit(bimodal())
+        out = enc.transform(np.linspace(-50, 50, 100))
+        assert (out[:, -1] >= 0).all() and (out[:, -1] <= 1).all()
+
+    def test_separated_modes_get_distinct_components(self):
+        enc = GMMEncoder(n_components=2, seed=0).fit(bimodal())
+        low = enc.transform(np.array([0.0]))[0, :2].argmax()
+        high = enc.transform(np.array([20.0]))[0, :2].argmax()
+        assert low != high
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GMMEncoder().transform(np.zeros(3))
+
+
+class TestJKCEncoder:
+    def test_width_and_one_hot(self):
+        enc = JKCEncoder(n_intervals=4, seed=0).fit(np.linspace(0, 1, 200))
+        out = enc.transform(np.linspace(0, 1, 30))
+        assert out.shape == (30, 5)
+        assert np.allclose(out[:, :4].sum(axis=1), 1.0)
+
+    def test_monotone_interval_assignment(self):
+        enc = JKCEncoder(n_intervals=3, seed=0).fit(np.linspace(0, 10, 100))
+        idx = enc.transform(np.array([0.5, 5.0, 9.5]))[:, :3].argmax(axis=1)
+        assert list(idx) == sorted(idx)
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            JKCEncoder().transform(np.zeros(3))
+
+
+class TestMinMaxEncoder:
+    def test_scales_to_unit(self):
+        enc = MinMaxEncoder().fit(np.array([10.0, 20.0]))
+        assert np.allclose(enc.transform(np.array([10.0, 15.0, 20.0])).ravel(),
+                           [0.0, 0.5, 1.0])
+
+    def test_width_is_one(self):
+        assert MinMaxEncoder().width == 1
+
+
+class TestCenterAffinity:
+    def test_nearest_center_has_highest_affinity(self):
+        centers = np.array([[0.0, 0], [10, 10], [20, 0]])
+        enc = CenterAffinityEncoder(centers)
+        out = enc.transform(np.array([[0.5, 0.5], [19.0, 1.0]]))
+        assert out[0].argmax() == 0
+        assert out[1].argmax() == 2
+
+    def test_affinity_in_unit_interval(self):
+        centers = np.random.default_rng(0).normal(size=(10, 2))
+        out = CenterAffinityEncoder(centers).transform(
+            np.random.default_rng(1).normal(size=(20, 2)))
+        assert (out > 0).all() and (out <= 1).all()
+
+    def test_needs_two_centers(self):
+        with pytest.raises(ValueError):
+            CenterAffinityEncoder(np.zeros((1, 2)))
+
+
+def two_col_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.column_stack([bimodal(n, seed), rng.uniform(0, 1, n)])
+
+
+class TestTabularPreprocessor:
+    ATTRS = [Attribute("x", hint="modal"), Attribute("y", hint="interval")]
+
+    def test_auto_mode_width(self):
+        prep = TabularPreprocessor(self.ATTRS, n_components=4, seed=0)
+        out = prep.fit_transform(two_col_data())
+        assert prep.width == 2 * (4 + 1)
+        assert out.shape == (400, prep.width)
+
+    def test_both_mode_doubles_width(self):
+        prep = TabularPreprocessor(self.ATTRS, mode="both", n_components=4,
+                                   seed=0)
+        prep.fit(two_col_data())
+        assert prep.width == 2 * 2 * (4 + 1)
+
+    def test_minmax_mode(self):
+        prep = TabularPreprocessor(self.ATTRS, mode="minmax", seed=0)
+        out = prep.fit_transform(two_col_data())
+        assert prep.width == 2
+        assert (out >= 0).all() and (out <= 1).all()
+
+    def test_gmm_and_jkc_modes(self):
+        for mode in ("gmm", "jkc"):
+            prep = TabularPreprocessor(self.ATTRS, mode=mode, n_components=3,
+                                       seed=0)
+            prep.fit(two_col_data())
+            assert prep.width == 2 * 4
+
+    def test_attach_centers_extends_width(self):
+        prep = TabularPreprocessor(self.ATTRS, n_components=4, seed=0)
+        prep.fit(two_col_data())
+        base = prep.width
+        prep.attach_centers(np.random.default_rng(0).normal(size=(7, 2)))
+        assert prep.width == base + 7
+        out = prep.transform(two_col_data(seed=1)[:10])
+        assert out.shape == (10, base + 7)
+
+    def test_attach_centers_before_fit(self):
+        prep = TabularPreprocessor(self.ATTRS, n_components=4, seed=0)
+        prep.attach_centers(np.random.default_rng(0).normal(size=(5, 2)))
+        prep.fit(two_col_data())
+        assert prep.width == 2 * 5 + 5
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            TabularPreprocessor(self.ATTRS, mode="fourier")
+
+    def test_column_count_checked(self):
+        prep = TabularPreprocessor(self.ATTRS, seed=0).fit(two_col_data())
+        with pytest.raises(ValueError):
+            prep.transform(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            TabularPreprocessor(self.ATTRS, seed=0).fit(np.zeros((5, 3)))
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            TabularPreprocessor(self.ATTRS).transform(two_col_data())
+
+    def test_values_bounded(self):
+        prep = TabularPreprocessor(self.ATTRS, seed=0).fit(two_col_data())
+        out = prep.transform(two_col_data(seed=2))
+        assert (out >= 0).all() and (out <= 1).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 100))
+def test_property_representation_deterministic(seed):
+    attrs = [Attribute("x"), Attribute("y")]
+    data = two_col_data(seed=seed)
+    a = TabularPreprocessor(attrs, seed=1).fit_transform(data)
+    b = TabularPreprocessor(attrs, seed=1).fit_transform(data)
+    assert np.allclose(a, b)

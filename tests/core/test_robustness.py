@@ -1,0 +1,110 @@
+"""Failure-injection and degenerate-input robustness tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import LTE, LTEConfig
+from repro.core.meta_training import MetaHyperParams
+from repro.data import Attribute, Table, make_car
+
+
+def tiny_config(**overrides):
+    defaults = dict(budget=15, ku=20, kq=25, n_tasks=6,
+                    meta=MetaHyperParams(epochs=1, local_steps=2,
+                                         batch_size=3, pretrain_epochs=1),
+                    basic_steps=10, online_steps=3)
+    defaults.update(overrides)
+    return LTEConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def car_lte():
+    """CAR has 5 attributes -> a 2D + 2D + 1D decomposition."""
+    table = make_car(n_rows=2500, seed=81)
+    lte = LTE(tiny_config())
+    lte.fit_offline(table)
+    return lte
+
+
+class TestDegenerateLabels:
+    @pytest.mark.parametrize("variant", ["basic", "meta", "meta_star"])
+    @pytest.mark.parametrize("fill", [0, 1])
+    def test_constant_labels_do_not_crash(self, car_lte, variant, fill):
+        subspace = list(car_lte.states)[0]
+        session = car_lte.start_session(variant=variant,
+                                        subspaces=[subspace])
+        tuples = session.initial_tuples()[subspace]
+        session.submit_labels(subspace, np.full(len(tuples), fill))
+        preds = session.predict_subspace(
+            subspace, subspace.project(car_lte.table.data[:200]))
+        assert preds.shape == (200,)
+        assert set(np.unique(preds)) <= {0, 1}
+
+
+class TestOneDimensionalSubspace:
+    def test_decomposition_includes_1d(self, car_lte):
+        dims = sorted(s.dim for s in car_lte.states)
+        assert dims == [1, 2, 2]
+
+    def test_full_session_over_all_subspaces(self, car_lte):
+        # Exercises 1-D hulls, 1-D UIS generation, 1-D preprocessing.
+        session = car_lte.start_session(variant="meta_star")
+        for subspace, tuples in session.initial_tuples().items():
+            labels = (tuples[:, 0] > np.median(tuples[:, 0])).astype(int)
+            session.submit_labels(subspace, labels)
+        preds = session.predict(car_lte.table.data[:300])
+        assert preds.shape == (300,)
+
+
+class TestDegenerateTables:
+    def test_constant_attribute_survives_offline(self):
+        rng = np.random.default_rng(0)
+        data = np.column_stack([np.full(800, 7.0),
+                                rng.normal(size=800)])
+        table = Table("const", [Attribute("flat"), Attribute("noise")], data)
+        lte = LTE(tiny_config())
+        lte.fit_offline(table)
+        assert len(lte.states) == 1
+
+    def test_small_table(self):
+        rng = np.random.default_rng(1)
+        table = Table("small", ["a", "b"], rng.normal(size=(300, 2)))
+        lte = LTE(tiny_config())
+        lte.fit_offline(table)
+        subspace = list(lte.states)[0]
+        session = lte.start_session(variant="meta", subspaces=[subspace])
+        tuples = session.initial_tuples()[subspace]
+        session.submit_labels(subspace,
+                              (tuples[:, 0] > 0).astype(int))
+        assert session.predict(table.data[:50]).shape == (50,)
+
+
+class TestOutOfRangeQueries:
+    def test_predict_far_outside_training_range(self, car_lte):
+        subspace = list(car_lte.states)[0]
+        session = car_lte.start_session(variant="meta",
+                                        subspaces=[subspace])
+        tuples = session.initial_tuples()[subspace]
+        session.submit_labels(subspace,
+                              (tuples[:, 0] > np.median(tuples[:, 0]))
+                              .astype(int))
+        wild = np.array([[1e9, -1e9], [0.0, 0.0]])
+        preds = session.predict_subspace(subspace, wild)
+        assert preds.shape == (2,)
+        assert np.isfinite(preds).all()
+
+
+class TestNonFiniteInputs:
+    def test_nan_rows_rejected_or_handled(self, car_lte):
+        subspace = list(car_lte.states)[0]
+        session = car_lte.start_session(variant="meta",
+                                        subspaces=[subspace])
+        tuples = session.initial_tuples()[subspace]
+        session.submit_labels(subspace,
+                              (tuples[:, 0] > np.median(tuples[:, 0]))
+                              .astype(int))
+        bad = np.full((2, 2), np.nan)
+        # NaNs must not silently become "interesting": predictions stay
+        # binary (NaN comparisons are False throughout the pipeline).
+        preds = session.predict_subspace(subspace, bad)
+        assert set(np.unique(preds)) <= {0, 1}

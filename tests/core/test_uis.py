@@ -1,0 +1,102 @@
+"""Tests for simulated-UIS formulation (Section V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.uis import PAPER_MODES, UISGenerator, UISMode
+from repro.ml import pairwise_distances
+
+
+def center_grid(side=6):
+    xs, ys = np.meshgrid(np.arange(side, dtype=float),
+                         np.arange(side, dtype=float))
+    return np.column_stack([xs.ravel(), ys.ravel()])
+
+
+class TestUISMode:
+    def test_paper_modes_match_table_iii(self):
+        assert PAPER_MODES["M1"] == UISMode(4, 20)
+        assert PAPER_MODES["M4"] == UISMode(4, 5)
+        assert PAPER_MODES["M5"] == UISMode(1, 20)
+        assert PAPER_MODES["M7"] == UISMode(3, 20)
+        assert len(PAPER_MODES) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UISMode(alpha=0, psi=5)
+        with pytest.raises(ValueError):
+            UISMode(alpha=1, psi=1)
+
+    def test_hashable(self):
+        assert len({UISMode(1, 5), UISMode(1, 5)}) == 1
+
+
+class TestUISGenerator:
+    def make(self, mode, seed=0):
+        centers = center_grid()
+        prox = pairwise_distances(centers, centers)
+        return UISGenerator(centers, prox, mode, seed=seed), centers
+
+    def test_region_parts_match_alpha(self):
+        gen, _ = self.make(UISMode(alpha=3, psi=5))
+        region, _ = gen.generate()
+        assert region.n_parts == 3
+
+    def test_member_mask_consistent_with_region(self):
+        gen, centers = self.make(UISMode(alpha=2, psi=6), seed=1)
+        region, mask = gen.generate()
+        assert np.array_equal(mask, region.contains(centers))
+
+    def test_seed_center_always_member(self):
+        # The hull circumscribes the seed's psi nearest neighbours which
+        # include the seed itself, so at least psi centers are members.
+        gen, _ = self.make(UISMode(alpha=1, psi=8), seed=2)
+        _, mask = gen.generate()
+        assert mask.sum() >= 8
+
+    def test_larger_psi_covers_more_centers(self):
+        gen_small, _ = self.make(UISMode(alpha=1, psi=4), seed=3)
+        gen_large, _ = self.make(UISMode(alpha=1, psi=20), seed=3)
+        _, small = gen_small.generate()
+        _, large = gen_large.generate()
+        assert large.sum() >= small.sum()
+
+    def test_batch(self):
+        gen, _ = self.make(UISMode(alpha=1, psi=5))
+        batch = gen.generate_batch(4)
+        assert len(batch) == 4
+
+    def test_psi_exceeding_centers_raises(self):
+        centers = center_grid(3)  # 9 centers
+        prox = pairwise_distances(centers, centers)
+        with pytest.raises(ValueError):
+            UISGenerator(centers, prox, UISMode(alpha=1, psi=10))
+
+    def test_bad_proximity_shape(self):
+        centers = center_grid(3)
+        with pytest.raises(ValueError):
+            UISGenerator(centers, np.zeros((2, 2)), UISMode(1, 3))
+
+    def test_deterministic_given_seed(self):
+        gen_a, centers = self.make(UISMode(alpha=2, psi=6), seed=9)
+        gen_b, _ = self.make(UISMode(alpha=2, psi=6), seed=9)
+        _, mask_a = gen_a.generate()
+        _, mask_b = gen_b.generate()
+        assert np.array_equal(mask_a, mask_b)
+
+    def test_disconnected_region_possible(self):
+        # With alpha parts of small psi on a grid, some draws must produce
+        # regions whose member centers are not contiguous.
+        gen, centers = self.make(UISMode(alpha=2, psi=4), seed=0)
+        found_disconnected = False
+        for _ in range(30):
+            region, mask = gen.generate()
+            members = centers[mask]
+            if len(members) and region.n_parts == 2:
+                # Crude disconnect check: hull parts far apart.
+                h0, h1 = region.hulls
+                gap = pairwise_distances(h0.points, h1.points).min()
+                if gap > 2.0:
+                    found_disconnected = True
+                    break
+        assert found_disconnected

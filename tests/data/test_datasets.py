@@ -1,0 +1,86 @@
+"""Tests for the synthetic SDSS/CAR dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import DATASET_BUILDERS, load_dataset, make_car, make_sdss
+
+
+class TestSDSS:
+    def test_shape_and_schema(self):
+        t = make_sdss(n_rows=2000, seed=0)
+        assert t.n_rows == 2000
+        assert t.attribute_names == ["rowc", "colc", "ra", "dec",
+                                     "sky_u", "sky_g", "sky_r", "sky_i"]
+
+    def test_deterministic_per_seed(self):
+        a = make_sdss(n_rows=500, seed=1).data
+        b = make_sdss(n_rows=500, seed=1).data
+        c = make_sdss(n_rows=500, seed=2).data
+        assert np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_coordinate_ranges(self):
+        t = make_sdss(n_rows=3000, seed=0)
+        assert t.column("ra").min() >= 0 and t.column("ra").max() < 360
+        assert t.column("dec").min() >= -25 and t.column("dec").max() <= 70
+        assert t.column("rowc").min() >= 0
+        assert t.column("colc").max() <= 2048
+
+    def test_sky_bands_strongly_correlated(self):
+        # The shared sky-brightness factor must induce correlation.
+        t = make_sdss(n_rows=5000, seed=0)
+        corr = np.corrcoef(t.column("sky_g"), t.column("sky_r"))[0, 1]
+        assert corr > 0.7
+
+    def test_ra_multimodal(self):
+        # The survey-stripe mixture leaves a density gap around ra ~ 100.
+        t = make_sdss(n_rows=20000, seed=0)
+        hist, _ = np.histogram(t.column("ra"), bins=36, range=(0, 360))
+        assert hist.min() < 0.2 * hist.max()
+
+
+class TestCAR:
+    def test_shape_and_schema(self):
+        t = make_car(n_rows=1500, seed=0)
+        assert t.n_rows == 1500
+        assert t.attribute_names == ["price", "mileage_km", "year",
+                                     "power_ps", "engine_cc"]
+
+    def test_value_plausibility(self):
+        t = make_car(n_rows=3000, seed=0)
+        assert t.column("price").min() >= 150
+        assert t.column("year").min() >= 1990
+        assert t.column("year").max() <= 2016
+        assert t.column("mileage_km").min() >= 0
+
+    def test_price_decreases_with_mileage(self):
+        t = make_car(n_rows=8000, seed=0)
+        corr = np.corrcoef(t.column("price"), t.column("mileage_km"))[0, 1]
+        assert corr < -0.1
+
+    def test_price_heavy_right_tail(self):
+        t = make_car(n_rows=8000, seed=0)
+        price = t.column("price")
+        assert price.mean() > np.median(price)  # right-skewed
+
+    def test_engine_clusters_on_100cc_steps(self):
+        t = make_car(n_rows=2000, seed=0)
+        assert np.allclose(t.column("engine_cc") % 100, 0)
+
+
+class TestLoader:
+    def test_loads_both(self):
+        assert load_dataset("sdss", n_rows=200).name == "SDSS"
+        assert load_dataset("CAR", n_rows=200).name == "CAR"
+
+    def test_registry_complete(self):
+        assert set(DATASET_BUILDERS) == {"sdss", "car"}
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_dataset("imagenet")
+
+    def test_overrides(self):
+        t = load_dataset("car", n_rows=123, seed=77)
+        assert t.n_rows == 123

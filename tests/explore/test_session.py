@@ -1,0 +1,66 @@
+"""Tests for the end-to-end exploration runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import LTE, LTEConfig
+from repro.core.meta_training import MetaHyperParams
+from repro.core.uis import UISMode
+from repro.data import make_car
+from repro.explore import (ConjunctiveOracle, ExplorationResult,
+                           RegionOracle, run_lte_exploration)
+from repro.geometry import BoxRegion
+
+
+@pytest.fixture(scope="module")
+def tiny_lte():
+    table = make_car(n_rows=2500, seed=41)
+    lte = LTE(LTEConfig(budget=20, ku=25, kq=30, n_tasks=6,
+                        meta=MetaHyperParams(epochs=1, local_steps=2,
+                                             batch_size=3, pretrain_epochs=1),
+                        basic_steps=15, online_steps=4))
+    lte.fit_offline(table)
+    return lte
+
+
+@pytest.fixture(scope="module")
+def tiny_oracle(tiny_lte):
+    from repro.bench import subspace_region
+    subspace = list(tiny_lte.states)[0]
+    state = tiny_lte.states[subspace]
+    region = subspace_region(state, UISMode(1, 10), seed=3)
+    return ConjunctiveOracle({subspace: region})
+
+
+class TestRunner:
+    def test_result_fields(self, tiny_lte, tiny_oracle):
+        rows = tiny_lte.table.sample_rows(200, seed=0)
+        result = run_lte_exploration(
+            tiny_lte, tiny_oracle, rows, variant="meta",
+            subspaces=list(tiny_oracle.subspace_regions))
+        assert isinstance(result, ExplorationResult)
+        assert 0 <= result.f1 <= 1
+        assert result.labels_used == 20
+        assert result.adapt_seconds > 0
+        assert result.predictions.shape == (200,)
+        assert result.ground_truth.shape == (200,)
+
+    def test_repr(self, tiny_lte, tiny_oracle):
+        rows = tiny_lte.table.sample_rows(50, seed=1)
+        result = run_lte_exploration(
+            tiny_lte, tiny_oracle, rows, variant="basic",
+            subspaces=list(tiny_oracle.subspace_regions))
+        assert "f1=" in repr(result)
+
+    def test_requires_conjunctive_oracle(self, tiny_lte):
+        with pytest.raises(TypeError):
+            run_lte_exploration(tiny_lte,
+                                RegionOracle(BoxRegion([0], [1])),
+                                np.zeros((2, 5)))
+
+    def test_labels_counted_per_subspace(self, tiny_lte, tiny_oracle):
+        rows = tiny_lte.table.sample_rows(50, seed=2)
+        before = tiny_oracle.labels_given
+        run_lte_exploration(tiny_lte, tiny_oracle, rows, variant="meta",
+                            subspaces=list(tiny_oracle.subspace_regions))
+        assert tiny_oracle.labels_given - before == 20

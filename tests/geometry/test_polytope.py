@@ -1,0 +1,98 @@
+"""Tests for the DSM dual-space polytope model.
+
+The central invariant: when the true region IS convex, every certificate
+the model issues (positive or negative) must be correct.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (PolytopeModel, THREE_SET_NEGATIVE,
+                            THREE_SET_POSITIVE, THREE_SET_UNCERTAIN)
+from repro.geometry.regions import BoxRegion
+
+
+def labelled_box_sample(n, seed, lo=(0.3, 0.3), hi=(0.7, 0.7)):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 1, size=(n, 2))
+    region = BoxRegion(lo, hi)
+    return points, region.label(points), region
+
+
+class TestUpdateAndMasks:
+    def test_positive_mask_is_hull_of_positives(self):
+        model = PolytopeModel(2)
+        pos = np.array([[0.0, 0], [1, 0], [0, 1], [1, 1]])
+        model.update(pos, np.ones(4))
+        assert model.positive_mask(np.array([[0.5, 0.5]]))[0]
+        assert not model.positive_mask(np.array([[2.0, 2.0]]))[0]
+
+    def test_no_positives_no_positive_region(self):
+        model = PolytopeModel(2)
+        model.update(np.array([[0.0, 0.0]]), [0])
+        assert not model.positive_mask(np.array([[0.0, 0.0]]))[0]
+
+    def test_negative_mask_behind_negative_point(self):
+        model = PolytopeModel(2)
+        model.update(np.array([[0.0, 0], [1, 0], [0, 1], [1, 1]]),
+                     np.ones(4))
+        model.update(np.array([[2.0, 0.5]]), [0])
+        # Query beyond the negative point, away from the hull: the ray from
+        # q through (2, 0.5) hits the positive hull => provably negative.
+        assert model.negative_mask(np.array([[3.0, 0.5]]))[0]
+        # A point on the far side of the hull is not covered by this cone.
+        assert not model.negative_mask(np.array([[-1.0, 0.5]]))[0]
+
+    def test_incremental_update_grows_regions(self):
+        model = PolytopeModel(2)
+        model.update(np.array([[0.0, 0], [1, 0]]), [1, 1])
+        before = model.positive_mask(np.array([[0.5, 0.8]]))[0]
+        model.update(np.array([[0.5, 1.0]]), [1])
+        after = model.positive_mask(np.array([[0.5, 0.8]]))[0]
+        assert not before and after
+
+    def test_validation(self):
+        model = PolytopeModel(2)
+        with pytest.raises(ValueError):
+            model.update(np.zeros((2, 3)), [0, 1])
+        with pytest.raises(ValueError):
+            model.update(np.zeros((2, 2)), [0])
+
+
+class TestThreeSet:
+    def test_partition_codes(self):
+        points, labels, _ = labelled_box_sample(120, seed=0)
+        model = PolytopeModel(2)
+        model.update(points[:40], labels[:40])
+        codes = model.three_set_partition(points[40:])
+        assert set(np.unique(codes)) <= {THREE_SET_POSITIVE,
+                                         THREE_SET_NEGATIVE,
+                                         THREE_SET_UNCERTAIN}
+
+    def test_metric_in_unit_interval_and_monotone_data(self):
+        points, labels, _ = labelled_box_sample(150, seed=1)
+        model = PolytopeModel(2)
+        model.update(points[:10], labels[:10])
+        few = model.three_set_metric(points[100:])
+        model.update(points[10:80], labels[10:80])
+        many = model.three_set_metric(points[100:])
+        assert 0.0 <= few <= many <= 1.0
+
+    def test_metric_empty_queries(self):
+        assert PolytopeModel(2).three_set_metric(np.zeros((0, 2))) == 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 300))
+def test_property_certificates_sound_for_convex_truth(seed):
+    """With convex ground truth, certified codes are never wrong."""
+    points, labels, region = labelled_box_sample(100, seed=seed)
+    model = PolytopeModel(2)
+    model.update(points[:50], labels[:50])
+    queries = points[50:]
+    codes = model.three_set_partition(queries)
+    truth = region.label(queries)
+    certified = codes != THREE_SET_UNCERTAIN
+    assert np.array_equal(codes[certified], truth[certified])

@@ -1,0 +1,43 @@
+"""Tests for ScaledRegion (raw-coordinate adapter over normalized regions)."""
+
+import numpy as np
+
+from repro.geometry import BoxRegion
+from repro.geometry.regions import ScaledRegion
+from repro.ml import MinMaxScaler
+
+
+def make_scaled_region():
+    raw = np.array([[0.0, 100.0], [10.0, 300.0]])  # attr scales differ 20x
+    scaler = MinMaxScaler().fit(raw)
+    inner = BoxRegion([0.25, 0.25], [0.75, 0.75])  # in normalized space
+    return ScaledRegion(inner, scaler)
+
+
+class TestScaledRegion:
+    def test_raw_queries_hit_normalized_region(self):
+        region = make_scaled_region()
+        # Raw midpoint (5, 200) -> normalized (0.5, 0.5): inside.
+        assert region.contains(np.array([[5.0, 200.0]]))[0]
+        # Raw corner (0, 100) -> normalized (0, 0): outside.
+        assert not region.contains(np.array([[0.0, 100.0]]))[0]
+
+    def test_label_int_semantics(self):
+        region = make_scaled_region()
+        labels = region.label(np.array([[5.0, 200.0], [0.0, 100.0]]))
+        assert list(labels) == [1, 0]
+
+    def test_dim_forwarded(self):
+        assert make_scaled_region().dim == 2
+
+    def test_n_parts_forwarded_or_one(self):
+        region = make_scaled_region()
+        assert region.n_parts == 1
+
+    def test_equivalent_to_manual_scaling(self):
+        region = make_scaled_region()
+        rng = np.random.default_rng(0)
+        raw = np.column_stack([rng.uniform(0, 10, 50),
+                               rng.uniform(100, 300, 50)])
+        expected = region.region.contains(region.scaler.transform(raw))
+        assert np.array_equal(region.contains(raw), expected)

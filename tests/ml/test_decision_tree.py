@@ -1,0 +1,104 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import DecisionTree
+from repro.geometry import BoxRegion
+
+
+def box_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 1, size=(n, 2))
+    region = BoxRegion([0.3, 0.3], [0.7, 0.7])
+    return points, region.label(points)
+
+
+class TestFit:
+    def test_learns_axis_aligned_box_well(self):
+        x, y = box_data()
+        tree = DecisionTree(max_depth=6).fit(x, y)
+        xt, yt = box_data(seed=1)
+        assert (tree.predict(xt) == yt).mean() > 0.9
+
+    def test_pure_labels_single_leaf(self):
+        x = np.random.default_rng(0).uniform(size=(50, 2))
+        tree = DecisionTree().fit(x, np.ones(50))
+        assert tree.root_.is_leaf
+        assert tree.n_leaves() == 1
+        assert (tree.predict(x) == 1).all()
+
+    def test_depth_capped(self):
+        x, y = box_data(n=600)
+        tree = DecisionTree(max_depth=3).fit(x, y)
+        assert tree.depth() <= 3
+
+    def test_min_samples_split_respected(self):
+        x, y = box_data(n=30)
+        tree = DecisionTree(max_depth=10, min_samples_split=40).fit(x, y)
+        assert tree.root_.is_leaf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.zeros((3, 2)), np.zeros(2))
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 2)))
+
+
+class TestProba:
+    def test_probability_in_unit_interval(self):
+        x, y = box_data()
+        tree = DecisionTree(max_depth=4).fit(x, y)
+        proba = tree.predict_proba(x)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_predict_is_thresholded_proba(self):
+        x, y = box_data(seed=2)
+        tree = DecisionTree(max_depth=4).fit(x, y)
+        assert np.array_equal(tree.predict(x),
+                              (tree.predict_proba(x) >= 0.5).astype(int))
+
+
+class TestPositiveBoxes:
+    def test_boxes_cover_positive_leaf_predictions(self):
+        x, y = box_data(n=800, seed=3)
+        tree = DecisionTree(max_depth=6).fit(x, y)
+        boxes = tree.positive_boxes(np.zeros(2), np.ones(2))
+        assert boxes, "a well-fit tree must have positive leaves"
+
+        def in_any_box(points):
+            out = np.zeros(len(points), dtype=bool)
+            for lo, hi in boxes:
+                out |= ((points >= lo) & (points <= hi)).all(axis=1)
+            return out
+
+        grid = np.random.default_rng(4).uniform(size=(500, 2))
+        tree_pred = tree.predict(grid).astype(bool)
+        box_pred = in_any_box(grid)
+        # Boxes are exactly the >=0.5 leaves: predictions must agree
+        # (up to boundary ties on split thresholds).
+        assert (tree_pred == box_pred).mean() > 0.98
+
+    def test_no_positive_leaves_no_boxes(self):
+        x = np.random.default_rng(5).uniform(size=(40, 2))
+        tree = DecisionTree().fit(x, np.zeros(40))
+        assert tree.positive_boxes(np.zeros(2), np.ones(2)) == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 200), st.integers(1, 5))
+def test_property_training_accuracy_nondecreasing_in_depth(seed, depth):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(size=(80, 2))
+    y = (x[:, 0] + 0.3 * x[:, 1] > 0.8).astype(int)
+    shallow = DecisionTree(max_depth=depth).fit(x, y)
+    deep = DecisionTree(max_depth=depth + 2).fit(x, y)
+    acc_shallow = (shallow.predict(x) == y).mean()
+    acc_deep = (deep.predict(x) == y).mean()
+    assert acc_deep >= acc_shallow - 1e-12

@@ -1,0 +1,87 @@
+"""Tests for the 1-D Gaussian mixture model (EM)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import GaussianMixture1D
+
+
+def bimodal(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.concatenate([rng.normal(-5, 0.5, n // 2),
+                           rng.normal(5, 0.8, n // 2)])
+
+
+class TestFit:
+    def test_recovers_two_separated_modes(self):
+        gmm = GaussianMixture1D(2, seed=0).fit(bimodal())
+        means = np.sort(gmm.means_)
+        assert abs(means[0] - (-5)) < 0.3
+        assert abs(means[1] - 5) < 0.3
+
+    def test_weights_sum_to_one(self):
+        gmm = GaussianMixture1D(3, seed=0).fit(bimodal(seed=1))
+        assert np.isclose(gmm.weights_.sum(), 1.0)
+        assert (gmm.weights_ >= 0).all()
+
+    def test_stds_floored(self):
+        gmm = GaussianMixture1D(2, seed=0, min_std=1e-3).fit(
+            np.array([1.0] * 10 + [2.0] * 10))
+        assert (gmm.stds_ >= 1e-3 - 1e-12).all()
+
+    def test_single_component_is_sample_stats(self):
+        data = np.random.default_rng(2).normal(3.0, 2.0, 500)
+        gmm = GaussianMixture1D(1, seed=0).fit(data)
+        assert abs(gmm.means_[0] - data.mean()) < 1e-6
+        assert abs(gmm.stds_[0] - data.std()) < 1e-3
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            GaussianMixture1D(5).fit(np.array([1.0, 2.0]))
+
+    def test_invalid_component_count(self):
+        with pytest.raises(ValueError):
+            GaussianMixture1D(0)
+
+
+class TestInference:
+    def test_predict_assigns_to_closest_mode(self):
+        gmm = GaussianMixture1D(2, seed=0).fit(bimodal(seed=3))
+        low_comp = gmm.predict(np.array([-5.0]))[0]
+        high_comp = gmm.predict(np.array([5.0]))[0]
+        assert low_comp != high_comp
+
+    def test_responsibilities_rows_sum_to_one(self):
+        gmm = GaussianMixture1D(3, seed=0).fit(bimodal(seed=4))
+        resp = gmm.responsibilities(np.linspace(-8, 8, 50))
+        assert np.allclose(resp.sum(axis=1), 1.0)
+        assert (resp >= 0).all()
+
+    def test_sample_shape_and_range(self):
+        gmm = GaussianMixture1D(2, seed=0).fit(bimodal(seed=5))
+        samples = gmm.sample(200, seed=1)
+        assert samples.shape == (200,)
+        assert samples.min() > -10 and samples.max() < 10
+
+    def test_use_before_fit_raises(self):
+        gmm = GaussianMixture1D(2)
+        with pytest.raises(RuntimeError):
+            gmm.predict(np.array([0.0]))
+        with pytest.raises(RuntimeError):
+            gmm.responsibilities(np.array([0.0]))
+        with pytest.raises(RuntimeError):
+            gmm.sample(3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 4), st.integers(0, 30))
+def test_property_responsibilities_are_distributions(k, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=100) * (1 + seed % 3)
+    gmm = GaussianMixture1D(k, seed=seed).fit(data)
+    resp = gmm.responsibilities(data[:20])
+    assert resp.shape == (20, k)
+    assert np.allclose(resp.sum(axis=1), 1.0)
+    assert np.array_equal(gmm.predict(data[:20]), resp.argmax(axis=1))

@@ -1,0 +1,101 @@
+"""Tests for Jenks natural-breaks classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import JenksBreaks, jenks_breaks
+
+
+class TestBreaks:
+    def test_two_obvious_clusters(self):
+        data = np.array([1.0, 1.1, 1.2, 9.0, 9.1, 9.2])
+        bounds = jenks_breaks(data, 2)
+        assert bounds[0] == 1.0
+        assert bounds[-1] == 9.2
+        # The inner boundary must split the two groups.
+        assert 1.2 <= bounds[1] <= 9.0
+
+    def test_boundaries_ascending(self):
+        rng = np.random.default_rng(0)
+        bounds = jenks_breaks(rng.normal(size=200), 5)
+        assert np.all(np.diff(bounds) >= 0)
+
+    def test_exact_on_three_groups(self):
+        data = np.array([0.0, 0.1, 5.0, 5.1, 10.0, 10.1])
+        bounds = jenks_breaks(data, 3)
+        labels = np.searchsorted(bounds[1:-1], data, side="right")
+        assert len(np.unique(labels[:2])) == 1
+        assert len(np.unique(labels[2:4])) == 1
+        assert len(np.unique(labels[4:])) == 1
+
+    def test_degenerate_fewer_uniques_than_classes(self):
+        bounds = jenks_breaks(np.array([1.0, 1.0, 2.0]), 5)
+        assert bounds[0] == 1.0 and bounds[-1] == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jenks_breaks(np.array([]), 2)
+        with pytest.raises(ValueError):
+            jenks_breaks(np.array([1.0, 2.0, 3.0]), 0)
+
+    def test_minimizes_within_class_variance_vs_uniform_split(self):
+        # Jenks on clustered data must beat an arbitrary equal-width split.
+        data = np.concatenate([np.random.default_rng(1).normal(0, 0.1, 50),
+                               np.random.default_rng(2).normal(10, 0.1, 50)])
+        bounds = jenks_breaks(data, 2)
+
+        def ssd_of_partition(split_value):
+            # A Jenks inner boundary is the first value of the right class.
+            left = data[data < split_value]
+            right = data[data >= split_value]
+            total = 0.0
+            for part in (left, right):
+                if len(part):
+                    total += ((part - part.mean()) ** 2).sum()
+            return total
+
+        assert ssd_of_partition(bounds[1]) <= ssd_of_partition(2.5) + 1e-9
+
+
+class TestJenksBreaksClass:
+    def test_predict_interval_bounds_contain_value(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=300)
+        jkc = JenksBreaks(4, seed=0).fit(data)
+        idx = jkc.predict(data)
+        for value, i in zip(data[:50], idx[:50]):
+            lo, hi = jkc.interval(int(i))
+            assert lo - 1e-9 <= value <= hi + 1e-9 or \
+                i in (0, jkc.n_intervals - 1)  # clipped extremes
+
+    def test_out_of_range_values_clipped(self):
+        jkc = JenksBreaks(3, seed=0).fit(np.linspace(0, 1, 50))
+        assert jkc.predict(np.array([-100.0]))[0] == 0
+        assert jkc.predict(np.array([100.0]))[0] == jkc.n_intervals - 1
+
+    def test_subsampling_kicks_in(self):
+        data = np.random.default_rng(4).normal(size=5000)
+        jkc = JenksBreaks(3, max_samples=200, seed=0).fit(data)
+        assert jkc.n_intervals >= 1
+
+    def test_interval_index_errors(self):
+        jkc = JenksBreaks(2, seed=0).fit(np.arange(10.0))
+        with pytest.raises(IndexError):
+            jkc.interval(99)
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            JenksBreaks(2).predict(np.array([1.0]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(-100, 100), min_size=5, max_size=50),
+       st.integers(1, 4))
+def test_property_bounds_cover_data(values, k):
+    values = np.asarray(values)
+    bounds = jenks_breaks(values, k)
+    assert bounds[0] <= values.min() + 1e-9
+    assert bounds[-1] >= values.max() - 1e-9
+    assert np.all(np.diff(bounds) >= -1e-12)

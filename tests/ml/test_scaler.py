@@ -1,0 +1,62 @@
+"""Tests for min-max scaling utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import MinMaxScaler, normalize_within
+
+
+class TestNormalizeWithin:
+    def test_basic_interval(self):
+        out = normalize_within(np.array([0.0, 5.0, 10.0]), 0.0, 10.0)
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+    def test_clips_outside_values(self):
+        out = normalize_within(np.array([-5.0, 15.0]), 0.0, 10.0)
+        assert np.allclose(out, [0.0, 1.0])
+
+    def test_degenerate_interval_maps_to_half(self):
+        out = normalize_within(np.array([3.0, 4.0]), 5.0, 5.0)
+        assert np.allclose(out, 0.5)
+
+
+class TestMinMaxScaler:
+    def test_transform_range(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(50, 3)) * 10
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+        assert np.isclose(scaled.min(axis=0).max(), 0.0)
+        assert np.isclose(scaled.max(axis=0).min(), 1.0)
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(20, 2))
+        scaler = MinMaxScaler().fit(data)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(data)),
+                           data)
+
+    def test_constant_column_handled(self):
+        data = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = MinMaxScaler().fit_transform(data)
+        assert np.isfinite(scaled).all()
+
+    def test_out_of_sample_clipped(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        assert np.allclose(scaler.transform(np.array([[20.0]])), 1.0)
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().inverse_transform(np.zeros((2, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=30))
+def test_property_scaled_values_in_unit_interval(values):
+    data = np.asarray(values)[:, None]
+    scaled = MinMaxScaler().fit_transform(data)
+    assert (scaled >= 0).all() and (scaled <= 1).all()

@@ -1,0 +1,101 @@
+"""Tests for the SMO-trained kernel SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml import SVC, linear_kernel, rbf_kernel
+
+
+def linearly_separable(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal([2.0, 2.0], 0.4, size=(n // 2, 2))
+    neg = rng.normal([-2.0, -2.0], 0.4, size=(n // 2, 2))
+    x = np.vstack([pos, neg])
+    y = np.concatenate([np.ones(n // 2), np.zeros(n // 2)]).astype(int)
+    return x, y
+
+
+def ring_inside(n=120, seed=1):
+    """Positive cluster at origin, negatives on a surrounding ring."""
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(0, 0.4, size=(n // 2, 2))
+    angles = rng.uniform(0, 2 * np.pi, n // 2)
+    neg = np.column_stack([3 * np.cos(angles), 3 * np.sin(angles)])
+    neg += rng.normal(0, 0.2, size=neg.shape)
+    x = np.vstack([pos, neg])
+    y = np.concatenate([np.ones(n // 2), np.zeros(n // 2)]).astype(int)
+    return x, y
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_one(self):
+        a = np.random.default_rng(0).normal(size=(5, 3))
+        k = rbf_kernel(a, a, gamma=0.7)
+        assert np.allclose(np.diag(k), 1.0)
+
+    def test_rbf_symmetry_and_range(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(6, 2))
+        k = rbf_kernel(a, a, gamma=1.0)
+        assert np.allclose(k, k.T)
+        assert (k > 0).all() and (k <= 1 + 1e-12).all()
+
+    def test_linear_kernel_is_gram(self):
+        a = np.random.default_rng(2).normal(size=(4, 3))
+        assert np.allclose(linear_kernel(a, a), a @ a.T)
+
+
+class TestSVC:
+    def test_separates_linear_data(self):
+        x, y = linearly_separable()
+        model = SVC(C=10.0, kernel="linear").fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_rbf_solves_ring(self):
+        x, y = ring_inside()
+        model = SVC(C=10.0, kernel="rbf").fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+        # Center is inside, far point is outside.
+        assert model.predict(np.array([[0.0, 0.0]]))[0] == 1
+        assert model.predict(np.array([[5.0, 5.0]]))[0] == 0
+
+    def test_decision_function_sign_matches_predict(self):
+        x, y = linearly_separable(seed=3)
+        model = SVC(kernel="rbf").fit(x, y)
+        scores = model.decision_function(x)
+        assert np.array_equal(model.predict(x), (scores > 0).astype(int))
+
+    def test_single_class_degenerates_to_constant(self):
+        x = np.random.default_rng(4).normal(size=(10, 2))
+        model = SVC().fit(x, np.ones(10, dtype=int))
+        assert (model.predict(x) == 1).all()
+        model0 = SVC().fit(x, np.zeros(10, dtype=int))
+        assert (model0.predict(x) == 0).all()
+
+    def test_gamma_scale_heuristic(self):
+        x, y = linearly_separable(seed=5)
+        model = SVC(kernel="rbf", gamma=None).fit(x, y)
+        assert model._gamma_value > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SVC(C=0.0)
+        with pytest.raises(ValueError):
+            SVC(kernel="poly")
+        with pytest.raises(ValueError):
+            SVC().fit(np.zeros((4, 2)), np.array([0, 1, 2, 1]))
+        with pytest.raises(RuntimeError):
+            SVC().decision_function(np.zeros((1, 2)))
+
+    def test_small_budget_training_sets(self):
+        # Exploration rounds call fit with very few points; must not crash.
+        x = np.array([[0.0, 0.0], [1.0, 1.0], [0.1, 0.0], [0.9, 1.0]])
+        y = np.array([0, 1, 0, 1])
+        model = SVC(kernel="rbf").fit(x, y)
+        assert model.predict(x).shape == (4,)
+
+    def test_deterministic_given_seed(self):
+        x, y = ring_inside(seed=6)
+        a = SVC(seed=3).fit(x, y).decision_function(x[:5])
+        b = SVC(seed=3).fit(x, y).decision_function(x[:5])
+        assert np.allclose(a, b)

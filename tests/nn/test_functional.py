@@ -1,0 +1,116 @@
+"""Tests for functional ops: losses, softmax, cosine similarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn.functional import (binary_cross_entropy_with_logits,
+                                 cosine_similarity, log_softmax, mse_loss,
+                                 relu, sigmoid, softmax)
+
+
+class TestBCE:
+    def test_matches_reference_formula(self):
+        logits = np.array([0.5, -1.2, 3.0])
+        targets = np.array([1.0, 0.0, 1.0])
+        loss = binary_cross_entropy_with_logits(Tensor(logits), targets)
+        p = 1 / (1 + np.exp(-logits))
+        expected = -(targets * np.log(p) + (1 - targets) * np.log(1 - p))
+        assert np.isclose(loss.item(), expected.mean())
+
+    def test_stable_at_extreme_logits(self):
+        loss = binary_cross_entropy_with_logits(
+            Tensor([1000.0, -1000.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+    def test_reductions(self):
+        logits = Tensor([1.0, -1.0])
+        targets = np.array([1.0, 0.0])
+        total = binary_cross_entropy_with_logits(
+            logits, targets, reduction="sum").item()
+        mean = binary_cross_entropy_with_logits(
+            logits, targets, reduction="mean").item()
+        none = binary_cross_entropy_with_logits(
+            logits, targets, reduction="none")
+        assert np.isclose(total, mean * 2)
+        assert none.shape == (2,)
+        with pytest.raises(ValueError):
+            binary_cross_entropy_with_logits(logits, targets,
+                                             reduction="bogus")
+
+    def test_accepts_tensor_targets(self):
+        loss = binary_cross_entropy_with_logits(
+            Tensor([0.0]), Tensor([1.0]))
+        assert np.isclose(loss.item(), np.log(2))
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        out = softmax(Tensor(np.random.default_rng(0).normal(size=(3, 5))))
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_shift_invariance(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(softmax(Tensor(x)).data,
+                           softmax(Tensor(x + 100)).data)
+
+    def test_stable_for_large_inputs(self):
+        out = softmax(Tensor([1e4, 0.0]))
+        assert np.isfinite(out.data).all()
+
+    def test_log_softmax_consistent(self):
+        x = np.random.default_rng(1).normal(size=6)
+        assert np.allclose(log_softmax(Tensor(x)).data,
+                           np.log(softmax(Tensor(x)).data))
+
+
+class TestCosine:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=4)
+        m = rng.normal(size=(3, 4))
+        out = cosine_similarity(Tensor(v), Tensor(m)).data
+        expected = m @ v / (np.linalg.norm(v) * np.linalg.norm(m, axis=1))
+        assert np.allclose(out, expected, atol=1e-9)
+
+    def test_self_similarity_is_one(self):
+        v = np.array([1.0, 2.0, 3.0])
+        out = cosine_similarity(Tensor(v), Tensor(v[None, :]))
+        assert np.isclose(out.data[0], 1.0)
+
+    def test_zero_vector_does_not_nan(self):
+        out = cosine_similarity(Tensor(np.zeros(3)), Tensor(np.ones((2, 3))))
+        assert np.isfinite(out.data).all()
+
+
+class TestSimpleWrappers:
+    def test_sigmoid_and_relu_accept_arrays(self):
+        assert np.isclose(sigmoid(np.array([0.0])).data[0], 0.5)
+        assert np.allclose(relu(np.array([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_mse(self):
+        loss = mse_loss(Tensor([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert np.isclose(loss.item(), 2.5)
+        with pytest.raises(ValueError):
+            mse_loss(Tensor([1.0]), np.array([0.0]), reduction="bad")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-50, 50), min_size=1, max_size=8),
+       st.lists(st.integers(0, 1), min_size=1, max_size=8))
+def test_property_bce_nonnegative(logits, bits):
+    n = min(len(logits), len(bits))
+    loss = binary_cross_entropy_with_logits(
+        Tensor(np.asarray(logits[:n])), np.asarray(bits[:n], dtype=float))
+    assert loss.item() >= -1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-10, 10), min_size=2, max_size=8))
+def test_property_softmax_is_distribution(values):
+    out = softmax(Tensor(np.asarray(values))).data
+    assert np.all(out >= 0)
+    assert np.isclose(out.sum(), 1.0)

@@ -1,0 +1,117 @@
+"""Tests for Module bookkeeping, Linear/MLP layers and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Linear, Module, ReLU, Sequential, Sigmoid, Tensor
+
+
+class TestModuleBookkeeping:
+    def test_named_parameters_nested(self):
+        mlp = MLP([3, 4, 2], rng=np.random.default_rng(0))
+        names = [n for n, _ in mlp.named_parameters()]
+        assert "m0.weight" in names and "m0.bias" in names
+        assert "m2.weight" in names and "m2.bias" in names
+
+    def test_num_parameters(self):
+        linear = Linear(3, 4, rng=np.random.default_rng(0))
+        assert linear.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad_clears_all(self):
+        mlp = MLP([2, 3, 1], rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.ones((5, 2)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        rng = np.random.default_rng(1)
+        a = MLP([3, 4, 2], rng=rng)
+        b = MLP([3, 4, 2], rng=np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        x = np.ones((2, 3))
+        assert np.allclose(a(Tensor(x)).data, b(Tensor(x)).data)
+
+    def test_state_dict_is_deep_copy(self):
+        mlp = MLP([2, 2], rng=np.random.default_rng(0))
+        state = mlp.state_dict()
+        state["m0.weight"][:] = 99.0
+        assert not np.allclose(mlp.m0.weight.data, 99.0)
+
+    def test_mismatched_state_raises(self):
+        mlp = MLP([2, 2], rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            mlp.load_state_dict({"nope": np.zeros(1)})
+
+    def test_flat_parameters_round_trip(self):
+        mlp = MLP([3, 5, 2], rng=np.random.default_rng(0))
+        flat = mlp.flat_parameters()
+        assert flat.size == mlp.num_parameters()
+        mlp.load_flat_parameters(flat * 2.0)
+        assert np.allclose(mlp.flat_parameters(), flat * 2.0)
+
+    def test_flat_parameters_size_check(self):
+        mlp = MLP([2, 2], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            mlp.load_flat_parameters(np.zeros(3))
+
+
+class TestLinear:
+    def test_output_shape_and_affine(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 4, rng=rng)
+        x = rng.normal(size=(5, 3))
+        out = layer(Tensor(x))
+        assert out.shape == (5, 4)
+        assert np.allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0), bias=False)
+        assert layer.bias is None
+        names = [n for n, _ in layer.named_parameters()]
+        assert names == ["weight"]
+
+    def test_repr(self):
+        assert repr(Linear(2, 3, rng=np.random.default_rng(0))) \
+            == "Linear(2, 3)"
+
+
+class TestSequentialAndMLP:
+    def test_sequential_applies_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(2, 2, rng=rng), ReLU())
+        x = np.array([[-10.0, -10.0]])
+        out = seq(Tensor(x))
+        assert np.all(out.data >= 0)
+
+    def test_sequential_iterable_and_repr(self):
+        seq = Sequential(ReLU(), Sigmoid())
+        mods = list(seq)
+        assert len(mods) == 2
+        assert "ReLU()" in repr(seq) and "Sigmoid()" in repr(seq)
+
+    def test_mlp_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([3])
+
+    def test_mlp_hidden_relu_final_linear(self):
+        mlp = MLP([2, 4, 1], rng=np.random.default_rng(0))
+        # Negative-going output is possible => final layer is not ReLU'd.
+        out = mlp(Tensor(np.random.default_rng(1).normal(size=(50, 2))))
+        assert (out.data < 0).any() or (out.data > 0).any()
+
+    def test_mlp_final_activation(self):
+        mlp = MLP([2, 3, 2], rng=np.random.default_rng(0),
+                  final_activation=Sigmoid())
+        out = mlp(Tensor(np.random.default_rng(1).normal(size=(10, 2)) * 10))
+        assert np.all(out.data >= 0) and np.all(out.data <= 1)
+
+    def test_mlp_sizes_recorded(self):
+        assert MLP([4, 3, 2], rng=np.random.default_rng(0)).sizes == (4, 3, 2)

@@ -1,0 +1,108 @@
+"""Tests for SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, Tensor
+from repro.nn.tensor import Parameter
+
+
+def quadratic_loss(param, target):
+    diff = param - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 1.0])
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p, target).backward()
+            opt.step()
+        assert np.allclose(p.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def losses_after(momentum, steps=20):
+            p = Parameter(np.array([10.0]))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(steps):
+                opt.zero_grad()
+                quadratic_loss(p, np.zeros(1)).backward()
+                opt.step()
+            return abs(p.data[0])
+
+        assert losses_after(0.9) < losses_after(0.0)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.5)
+        opt.step()  # no grad yet: must be a no-op, not an error
+        assert np.allclose(p.data, 1.0)
+
+    def test_validation(self):
+        p = Parameter(np.ones(1))
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 1.0])
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p, target).backward()
+            opt.step()
+        assert np.allclose(p.data, target, atol=1e-2)
+
+    def test_first_step_size_is_about_lr(self):
+        # With bias correction, Adam's first update magnitude ~= lr.
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.05)
+        opt.zero_grad()
+        quadratic_loss(p, np.zeros(1)).backward()
+        opt.step()
+        assert np.isclose(10.0 - p.data[0], 0.05, rtol=1e-3)
+
+    def test_handles_sparse_grad_pattern(self):
+        p1 = Parameter(np.ones(1))
+        p2 = Parameter(np.ones(1))
+        opt = Adam([p1, p2], lr=0.1)
+        opt.zero_grad()
+        (p1 * 2.0).sum().backward()  # only p1 gets a gradient
+        opt.step()
+        assert p1.data[0] != 1.0
+        assert p2.data[0] == 1.0
+
+    def test_zero_grad_via_optimizer(self):
+        p = Parameter(np.ones(1))
+        opt = Adam([p], lr=0.1)
+        (p * 2).sum().backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+
+def test_optimizers_train_small_net_to_fit_xor():
+    """Integration: Adam fits XOR (non-linearly separable)."""
+    from repro.nn import MLP
+    from repro.nn.functional import binary_cross_entropy_with_logits
+
+    rng = np.random.default_rng(0)
+    x = np.array([[0.0, 0], [0, 1], [1, 0], [1, 1]])
+    y = np.array([0.0, 1, 1, 0])
+    net = MLP([2, 8, 1], rng=rng)
+    opt = Adam(net.parameters(), lr=0.05)
+    for _ in range(400):
+        opt.zero_grad()
+        logits = net(Tensor(x)).reshape(-1)
+        binary_cross_entropy_with_logits(logits, y).backward()
+        opt.step()
+    pred = (net(Tensor(x)).data.ravel() > 0).astype(int)
+    assert np.array_equal(pred, y.astype(int))

@@ -1,0 +1,186 @@
+"""Unit tests for the autograd Tensor: forward semantics and graph basics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.nn.tensor import Parameter, _unbroadcast
+
+
+class TestArithmetic:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        assert np.allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar_right_and_left(self):
+        t = Tensor([1.0, 2.0])
+        assert np.allclose((t + 1).data, [2.0, 3.0])
+        assert np.allclose((1 + t).data, [2.0, 3.0])
+
+    def test_sub_and_rsub(self):
+        t = Tensor([5.0])
+        assert np.allclose((t - 2).data, [3.0])
+        assert np.allclose((2 - t).data, [-3.0])
+
+    def test_mul_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor([1.0, 2.0, 3.0])
+        assert np.allclose((a * b).data, [[1, 2, 3], [1, 2, 3]])
+
+    def test_div_and_rdiv(self):
+        t = Tensor([2.0, 4.0])
+        assert np.allclose((t / 2).data, [1.0, 2.0])
+        assert np.allclose((8 / t).data, [4.0, 2.0])
+
+    def test_neg(self):
+        assert np.allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow_scalar_only(self):
+        t = Tensor([2.0, 3.0])
+        assert np.allclose((t ** 2).data, [4.0, 9.0])
+        with pytest.raises(TypeError):
+            t ** np.array([1.0, 2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=float).reshape(3, 4))
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_vector_cases(self):
+        v = Tensor([1.0, 2.0, 3.0])
+        m = Tensor(np.eye(3))
+        assert np.allclose((v @ m).data, v.data)
+        assert np.allclose((m @ v).data, v.data)
+        assert np.isclose((v @ v).item(), 14.0)
+
+
+class TestNonlinearities:
+    def test_relu(self):
+        out = Tensor([-1.0, 0.0, 2.0]).relu()
+        assert np.allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range_and_stability(self):
+        out = Tensor([-1000.0, 0.0, 1000.0]).sigmoid()
+        assert np.all(out.data >= 0) and np.all(out.data <= 1)
+        assert np.isclose(out.data[1], 0.5)
+        assert np.isfinite(out.data).all()
+
+    def test_tanh_exp_log_sqrt_abs(self):
+        t = Tensor([1.0, 4.0])
+        assert np.allclose(t.tanh().data, np.tanh(t.data))
+        assert np.allclose(t.exp().data, np.exp(t.data))
+        assert np.allclose(t.log().data, np.log(t.data))
+        assert np.allclose(t.sqrt().data, [1.0, 2.0])
+        assert np.allclose(Tensor([-3.0, 2.0]).abs().data, [3.0, 2.0])
+
+    def test_clip(self):
+        out = Tensor([-5.0, 0.5, 5.0]).clip(0.0, 1.0)
+        assert np.allclose(out.data, [0.0, 0.5, 1.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self):
+        t = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert np.isclose(t.sum().item(), 15.0)
+        assert np.allclose(t.sum(axis=0).data, [3.0, 5.0, 7.0])
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean(self):
+        t = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert np.isclose(t.mean().item(), 2.5)
+        assert np.allclose(t.mean(axis=0).data, [1.5, 2.5, 3.5])
+
+    def test_reshape_flatten_T(self):
+        t = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert t.reshape(3, 2).shape == (3, 2)
+        assert t.reshape((6,)).shape == (6,)
+        assert t.flatten().shape == (6,)
+        assert t.T.shape == (3, 2)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(10, dtype=float))
+        assert np.allclose(t[2:5].data, [2.0, 3.0, 4.0])
+
+    def test_concat_and_stack(self):
+        a, b = Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 3)))
+        assert Tensor.concat([a, b], axis=1).shape == (2, 5)
+        c = Tensor.stack([Tensor([1.0, 2.0]), Tensor([3.0, 4.0])])
+        assert c.shape == (2, 2)
+
+
+class TestGraphMechanics:
+    def test_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        assert (a + 1).requires_grad
+        assert not (Tensor([1.0]) + 1).requires_grad
+
+    def test_backward_accumulates_on_leaves(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * 3).backward()
+        (a * 3).backward()
+        assert np.allclose(a.grad, [6.0])  # fresh graph each time
+
+    def test_shared_subexpression_grads_sum(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3
+        (b + b).backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_backward_requires_scalar_or_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            a.backward()
+        a.backward(np.ones(2))
+        assert np.allclose(a.grad, [1.0, 1.0])
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_detach(self):
+        a = Tensor([1.0], requires_grad=True)
+        d = (a * 2).detach()
+        assert not d.requires_grad
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_repr_mentions_grad_flag(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestParameter:
+    def test_parameter_requires_grad(self):
+        assert Parameter([1.0]).requires_grad
+
+    def test_copy_keeps_identity_and_checks_shape(self):
+        p = Parameter(np.zeros(3))
+        p.copy_(np.ones(3))
+        assert np.allclose(p.data, 1.0)
+        with pytest.raises(ValueError):
+            p.copy_(np.ones(4))
+
+    def test_parameter_op_returns_plain_tensor(self):
+        p = Parameter(np.ones((2, 2)))
+        out = p.T  # must not try Parameter.__init__ with kwargs
+        assert type(out) is type(Tensor(0.0))
+
+
+class TestUnbroadcast:
+    def test_sums_added_leading_axes(self):
+        grad = np.ones((4, 2, 3))
+        assert _unbroadcast(grad, (2, 3)).shape == (2, 3)
+        assert np.allclose(_unbroadcast(grad, (2, 3)), 4.0)
+
+    def test_sums_singleton_axes(self):
+        grad = np.ones((2, 3))
+        out = _unbroadcast(grad, (2, 1))
+        assert out.shape == (2, 1)
+        assert np.allclose(out, 3.0)

@@ -1,0 +1,70 @@
+"""Public-API surface checks: imports, __all__ consistency, paper defaults."""
+
+import importlib
+
+import pytest
+
+PACKAGES = ["repro", "repro.nn", "repro.ml", "repro.geometry", "repro.data",
+            "repro.core", "repro.baselines", "repro.explore", "repro.bench"]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports_and_all_resolves(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__")
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), "{}.{} missing".format(name, symbol)
+
+
+def test_top_level_exports():
+    import repro
+    assert repro.LTE is not None
+    assert repro.LTEConfig is not None
+    assert isinstance(repro.__version__, str)
+
+
+def test_every_public_symbol_has_docstring():
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            obj = getattr(module, symbol)
+            if isinstance(obj, type) or callable(obj):
+                assert obj.__doc__, "{}.{} lacks a docstring".format(
+                    name, symbol)
+
+
+class TestPaperDefaults:
+    """The library defaults must match the paper's Section VIII-A."""
+
+    def test_lte_config_defaults(self):
+        from repro.core import LTEConfig
+        config = LTEConfig()
+        assert config.ku == 100
+        assert config.kq == 200
+        assert config.delta == 5
+        assert config.budget == 30
+        assert config.embed_size == 100          # Ne = 100
+        assert config.task_mode.alpha == 4       # generalized training mode
+        assert config.task_mode.psi == 20
+        assert config.subspace_dim == 2          # 2-D subspaces
+
+    def test_meta_hyperparams_m_range(self):
+        from repro.core.meta_training import MetaHyperParams
+        assert MetaHyperParams().m in (2, 4, 6)  # the paper's search grid
+
+    def test_paper_scale_preset(self):
+        from repro.bench import get_scale
+        paper = get_scale("paper")
+        assert paper.n_tasks == 5000             # the paper's sweet point
+        assert paper.dataset_rows == 100_000     # SDSS extract size
+
+    def test_paper_modes_complete(self):
+        from repro.core.uis import PAPER_MODES
+        assert [PAPER_MODES[m].psi for m in
+                ("M1", "M2", "M3", "M4")] == [20, 15, 10, 5]
+        assert [PAPER_MODES[m].alpha for m in
+                ("M5", "M6", "M7")] == [1, 2, 3]
+
+    def test_variants_tuple(self):
+        from repro.core import VARIANTS
+        assert VARIANTS == ("basic", "meta", "meta_star")
