@@ -1,0 +1,127 @@
+"""Serving throughput: concurrent sessions/sec, batched vs sequential.
+
+The repo's first scale benchmark.  A fleet of K simulated users opens
+exploration sessions against one shared pretrained LTE; each labels its
+initial tuples per subspace and retrieves predictions over a shared
+evaluation sample.  The sequential baseline drives each session through
+``run_lte_exploration``; the serving path queues every session on a
+:class:`~repro.serve.SessionManager` and adapts them all in fused batches
+(``run_concurrent_explorations``).
+
+Expected shape: sequential sessions/sec is flat in K (each session pays
+the full Python/autograd overhead), while batched sessions/sec *grows*
+with K as the per-step overhead amortizes across the stacked tasks —
+crossing 3x at 32 concurrent sessions.
+
+The config is smoke-sized (small embeddings, few meta-tasks) so the whole
+bench runs in well under 30 seconds at the quick scale; K=128 is added at
+medium/paper scales.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import print_series, subspace_region
+from repro.core import LTE, LTEConfig
+from repro.core.meta_training import MetaHyperParams
+from repro.core.uis import UISMode
+from repro.data import make_sdss
+from repro.data.subspaces import random_decomposition
+from repro.explore import (ConjunctiveOracle, run_concurrent_explorations,
+                           run_lte_exploration)
+
+SESSION_COUNTS = (1, 8, 32)
+VARIANT = "meta_star"
+# The acceptance bar is 3x on dedicated hardware; shared CI runners set
+# REPRO_MIN_SPEEDUP lower so timing noise cannot block unrelated merges.
+MIN_SPEEDUP = float(os.environ.get("REPRO_MIN_SPEEDUP", "3.0"))
+
+
+def _build_serving_lte():
+    """Smoke-sized system: the serving regime is many sessions over a
+    small per-subspace learner, so modest embeddings are the realistic
+    (and fast) configuration."""
+    table = make_sdss(n_rows=6000, seed=7)
+    config = LTEConfig(budget=30, ku=40, kq=60, n_tasks=10,
+                       embed_size=32, hidden_size=32, n_components=4,
+                       meta=MetaHyperParams(epochs=1, local_steps=3,
+                                            pretrain_epochs=1),
+                       online_steps=30)
+    lte = LTE(config)
+    subspaces = random_decomposition(table, dim=config.subspace_dim,
+                                     seed=config.seed)[:2]
+    lte.fit_offline(table, subspaces=subspaces)
+    return lte, subspaces
+
+
+def _oracles(lte, subspaces, count):
+    return [
+        ConjunctiveOracle({
+            s: subspace_region(lte.states[s], UISMode(1, 30),
+                               seed=100 + 7 * k + i)
+            for i, s in enumerate(subspaces)})
+        for k in range(count)
+    ]
+
+
+@pytest.mark.smoke
+@pytest.mark.benchmark(group="serving")
+def test_serving_throughput(benchmark, scale, report):
+    session_counts = SESSION_COUNTS if scale.name == "quick" \
+        else SESSION_COUNTS + (128,)
+
+    def run():
+        lte, subspaces = _build_serving_lte()
+        eval_rows = lte.table.sample_rows(400, seed=1)
+        series = {"sequential": [], "batched": [], "speedup": []}
+        parity = True
+        for count in session_counts:
+            oracles = _oracles(lte, subspaces, count)
+            # Best-of-N wall clock on both sides: a single pass is at the
+            # mercy of turbo/cache warm-up noise at these durations.
+            repeats = 3 if count >= 32 else 2
+            seq_seconds, bat_seconds = float("inf"), float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                sequential = [run_lte_exploration(lte, oracle, eval_rows,
+                                                  variant=VARIANT,
+                                                  subspaces=subspaces)
+                              for oracle in oracles]
+                seq_seconds = min(seq_seconds,
+                                  time.perf_counter() - start)
+                start = time.perf_counter()
+                batched = run_concurrent_explorations(
+                    lte, oracles, eval_rows, variant=VARIANT,
+                    subspaces=subspaces)
+                bat_seconds = min(bat_seconds,
+                                  time.perf_counter() - start)
+                parity &= all(
+                    np.array_equal(s.predictions, b.predictions)
+                    for s, b in zip(sequential, batched))
+            series["sequential"].append(count / seq_seconds)
+            series["batched"].append(count / bat_seconds)
+            series["speedup"].append(seq_seconds / bat_seconds)
+        return series, parity
+
+    (series, parity), = [benchmark.pedantic(run, rounds=1, iterations=1)]
+    with report():
+        print_series(
+            "Serving throughput ({}): sessions/sec vs concurrency"
+            .format(VARIANT), "K", list(session_counts),
+            {k: series[k] for k in ("sequential", "batched")})
+        print_series("  speedup (sequential time / batched time)", "K",
+                     list(session_counts), {"x": series["speedup"]})
+
+    # Batched serving must never corrupt a session: exact parity.
+    assert parity
+    # The acceptance bar: >= 3x sessions/sec at 32 concurrent sessions
+    # (relaxed via REPRO_MIN_SPEEDUP on noisy shared runners).
+    at_32 = session_counts.index(32)
+    assert series["speedup"][at_32] >= MIN_SPEEDUP, \
+        "batched serving speedup at K=32 was only {:.2f}x (min {})".format(
+            series["speedup"][at_32], MIN_SPEEDUP)
+    # Batched throughput grows with concurrency; sequential stays flat.
+    assert series["batched"][at_32] > series["batched"][0]

@@ -17,6 +17,10 @@ Packages
     Oracles, metrics and end-to-end exploration runners.
 ``repro.bench``
     The harness regenerating every table and figure of the paper.
+``repro.serve``
+    Batched multi-session serving: many concurrent exploration sessions
+    adapted in fused tensor batches over one shared LTE, with a
+    versioned prediction cache.
 """
 
 from .core import LTE, LTEConfig

@@ -6,9 +6,10 @@ optimizer (Section VII), and the public offline/online framework
 (Section III-B).
 """
 
-from .framework import (LTE, ExplorationSession, LTEConfig, SubspaceState,
-                        VARIANTS)
-from .memory import MetaMemories, softmax_cosine_attention
+from .framework import (LTE, AdaptRequest, ExplorationSession, LTEConfig,
+                        SubspaceState, VARIANTS, build_adapt_request,
+                        build_readapt_request, run_adapt_request)
+from .memory import LRUStore, MetaMemories, softmax_cosine_attention
 from .meta_learner import UISClassifier
 from .meta_task import (ClusterSummary, MetaTask, MetaTaskGenerator,
                         build_cluster_summary, expand_bits,
@@ -21,7 +22,9 @@ from .uis import PAPER_MODES, UISGenerator, UISMode
 
 __all__ = [
     "LTE", "LTEConfig", "ExplorationSession", "SubspaceState", "VARIANTS",
-    "UISClassifier", "MetaMemories", "softmax_cosine_attention",
+    "AdaptRequest", "build_adapt_request", "build_readapt_request",
+    "run_adapt_request",
+    "UISClassifier", "MetaMemories", "LRUStore", "softmax_cosine_attention",
     "MetaTask", "MetaTaskGenerator", "ClusterSummary",
     "build_cluster_summary", "uis_feature_vector", "expand_bits",
     "MetaTrainer", "MetaHyperParams", "AdaptedClassifier",

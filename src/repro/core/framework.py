@@ -43,7 +43,8 @@ from .preprocessing import TabularPreprocessor
 from .uis import UISMode
 
 __all__ = ["LTEConfig", "LTE", "ExplorationSession", "SubspaceState",
-           "VARIANTS"]
+           "AdaptRequest", "build_adapt_request", "build_readapt_request",
+           "run_adapt_request", "VARIANTS"]
 
 VARIANTS = ("basic", "meta", "meta_star")
 
@@ -303,6 +304,152 @@ class LTE:
                                   else seed)
 
 
+# ----------------------------------------------------------------------
+# Adaptation as data: the online few-shot fine-tuning of one (session,
+# subspace) pair reduced to a pure value object plus pure executors.  The
+# sequential session path and the batched serving path
+# (:mod:`repro.serve`) both consume these, which is what makes them
+# bit-compatible.
+# ----------------------------------------------------------------------
+@dataclass
+class AdaptRequest:
+    """One batchable unit of online adaptation work.
+
+    Produced by :func:`build_adapt_request` (initial labels) or
+    :func:`build_readapt_request` (iterative-exploration rounds) and
+    executed either sequentially by :func:`run_adapt_request` or fused
+    with other requests by :func:`repro.serve.run_adapt_requests`.
+    """
+
+    state: SubspaceState
+    variant: str
+    config: LTEConfig
+    feature: np.ndarray          # v_R (ku,)
+    encoded: np.ndarray          # (n, input_width) preprocessed tuples
+    targets: np.ndarray          # (n,) float 0/1 labels
+    center_bits: np.ndarray = None   # C_s labels; None on re-adaptation
+
+    @property
+    def steps(self):
+        return self.config.basic_steps if self.variant == "basic" \
+            else self.config.online_steps
+
+    @property
+    def lr(self):
+        return self.config.basic_lr if self.variant == "basic" \
+            else self.config.online_lr
+
+    @property
+    def optimizer_kind(self):
+        return "adam" if self.variant == "basic" \
+            else self.state.trainer.params.local_optimizer
+
+    @property
+    def balance_classes(self):
+        return self.config.meta.balance_classes if self.variant == "basic" \
+            else self.state.trainer.params.balance_classes
+
+    @property
+    def use_conversion(self):
+        return self.variant != "basic" and self.state.trainer.use_memories
+
+    @property
+    def builds_optimizer(self):
+        return self.variant == "meta_star" and self.center_bits is not None
+
+    def shape_key(self):
+        """Hashable bucket key: requests sharing it can train fused."""
+        summary = self.state.summary
+        return (self.variant, self.optimizer_kind, self.use_conversion,
+                self.balance_classes, self.steps, float(self.lr),
+                summary.ku, self.state.preprocessor.width,
+                self.encoded.shape[0], self.config.embed_size,
+                self.config.hidden_size)
+
+
+def build_adapt_request(state, variant, config, scaled_points, labels):
+    """Initial-labels adaptation request for one (session, subspace).
+
+    ``scaled_points`` are the session's initial tuples in normalized
+    coordinates (C_s centers first); ``labels`` the user's 0/1 answers.
+    """
+    if variant not in VARIANTS:
+        raise ValueError("unknown variant {!r}; options: {}".format(
+            variant, VARIANTS))
+    if variant != "basic" and state.trainer is None:
+        raise RuntimeError("subspace {} has no trained meta-learner".format(
+            state.subspace))
+    labels = np.asarray(labels).ravel().astype(np.int64)
+    center_bits = labels[:state.summary.ks]
+    feature = uis_feature_vector(center_bits, state.summary)
+    return AdaptRequest(
+        state=state, variant=variant, config=config, feature=feature,
+        encoded=state.encode_scaled(scaled_points),
+        targets=labels.astype(np.float64), center_bits=center_bits)
+
+
+def build_readapt_request(state, variant, config, feature, encoded, labels):
+    """Re-adaptation request from accumulated iterative-exploration labels.
+
+    Keeps the session's existing UIS feature vector and does not rebuild
+    the few-shot optimizer (matching
+    :meth:`ExplorationSession.add_labels` semantics).
+    """
+    if variant != "basic" and state.trainer is None:
+        raise RuntimeError("subspace {} has no trained meta-learner".format(
+            state.subspace))
+    labels = np.asarray(labels).ravel().astype(np.float64)
+    return AdaptRequest(
+        state=state, variant=variant, config=config,
+        feature=np.asarray(feature, dtype=np.float64),
+        encoded=np.atleast_2d(np.asarray(encoded, dtype=np.float64)),
+        targets=labels, center_bits=None)
+
+
+def _train_basic_classifier(request):
+    """Train the Basic (non-meta) classifier for one request."""
+    cfg = request.config
+    state = request.state
+    model = UISClassifier(
+        ku=state.summary.ku, input_width=state.preprocessor.width,
+        embed_size=cfg.embed_size, hidden_size=cfg.hidden_size,
+        use_conversion=False, seed=cfg.seed)
+    optimizer = Adam(model.parameters(), lr=cfg.basic_lr)
+    targets = request.targets
+    pos_weight = balanced_pos_weight(targets) \
+        if cfg.meta.balance_classes else None
+    for _ in range(cfg.basic_steps):
+        optimizer.zero_grad()
+        logits = model.forward(request.feature, request.encoded)
+        loss = binary_cross_entropy_with_logits(logits, targets,
+                                                pos_weight=pos_weight)
+        loss.backward()
+        optimizer.step()
+    return AdaptedClassifier(model, request.feature)
+
+
+def run_adapt_request(request):
+    """Execute one request sequentially.
+
+    Returns ``(AdaptedClassifier, FewShotOptimizer | None)`` — the
+    few-shot optimizer only for initial ``meta_star`` requests.
+    """
+    cfg = request.config
+    state = request.state
+    if request.variant == "basic":
+        adapted = _train_basic_classifier(request)
+    else:
+        adapted, _ = state.trainer.adapt(
+            request.feature, request.encoded, request.targets,
+            local_steps=cfg.online_steps, local_lr=cfg.online_lr)
+    optimizer = None
+    if request.builds_optimizer:
+        optimizer = FewShotOptimizer(
+            state.summary, n_sup_ratio=cfg.n_sup_ratio,
+            n_sub_ratio=cfg.n_sub_ratio).fit(request.center_bits)
+    return adapted, optimizer
+
+
 class _SubspaceSession:
     """Online state of one subspace inside a session."""
 
@@ -322,88 +469,105 @@ class _SubspaceSession:
         self.adapted = None
         self.optimizer = None
         self.adapt_seconds = None
+        self.model_version = 0   # bumped on every (re-)adaptation
         self.extra_x = None   # iterative-exploration labels (beyond initial)
         self.extra_y = None
 
     # ------------------------------------------------------------------
-    def submit_labels(self, labels):
-        cfg = self.config
-        state = self.state
+    def validate_initial_labels(self, labels):
+        """Check an initial label vector; returns it as int64."""
         labels = np.asarray(labels).ravel().astype(np.int64)
         if labels.size != len(self.initial_x):
             raise ValueError("expected {} labels, got {}".format(
                 len(self.initial_x), labels.size))
-        self.labels = labels
-        encoded = state.encode_scaled(self._initial_scaled)
-        center_bits = labels[:state.summary.ks]
-        feature = uis_feature_vector(center_bits, state.summary)
+        return labels
 
+    def validate_extra_labels(self, tuples, labels):
+        """Check an iterative-exploration round; returns (tuples, labels)."""
+        tuples = np.atleast_2d(np.asarray(tuples, dtype=np.float64))
+        labels = np.asarray(labels).ravel().astype(np.int64)
+        if len(tuples) != len(labels):
+            raise ValueError("tuples/labels length mismatch")
+        if tuples.shape[1] != self.initial_x.shape[1]:
+            raise ValueError("expected {}-D subspace tuples, got {}-D".format(
+                self.initial_x.shape[1], tuples.shape[1]))
+        return tuples, labels
+
+    def build_initial_request(self, labels):
+        """Validate labels and package the adaptation as an AdaptRequest."""
+        labels = self.validate_initial_labels(labels)
+        return build_adapt_request(self.state, self.variant, self.config,
+                                   self._initial_scaled, labels)
+
+    def submit_labels(self, labels):
+        request = self.build_initial_request(labels)
         start = time.perf_counter()
-        if self.variant == "basic":
-            self.adapted = self._train_basic(feature, encoded, labels)
-        else:
-            if state.trainer is None:
-                raise RuntimeError(
-                    "subspace {} has no trained meta-learner".format(
-                        state.subspace))
-            self.adapted, _ = state.trainer.adapt(
-                feature, encoded, labels,
-                local_steps=cfg.online_steps, local_lr=cfg.online_lr)
-        if self.variant == "meta_star":
-            self.optimizer = FewShotOptimizer(
-                state.summary, n_sup_ratio=cfg.n_sup_ratio,
-                n_sub_ratio=cfg.n_sub_ratio).fit(center_bits)
-        self.adapt_seconds = time.perf_counter() - start
+        adapted, optimizer = run_adapt_request(request)
+        self.install_adaptation(request, adapted, optimizer,
+                                time.perf_counter() - start)
 
-    def _train_basic(self, feature, encoded, labels):
-        cfg = self.config
-        model = UISClassifier(
-            ku=self.state.summary.ku, input_width=self.state.preprocessor.width,
-            embed_size=cfg.embed_size, hidden_size=cfg.hidden_size,
-            use_conversion=False, seed=cfg.seed)
-        optimizer = Adam(model.parameters(), lr=cfg.basic_lr)
-        targets = labels.astype(np.float64)
-        pos_weight = balanced_pos_weight(targets) \
-            if cfg.meta.balance_classes else None
-        for _ in range(cfg.basic_steps):
-            optimizer.zero_grad()
-            logits = model.forward(feature, encoded)
-            loss = binary_cross_entropy_with_logits(logits, targets,
-                                                    pos_weight=pos_weight)
-            loss.backward()
-            optimizer.step()
-        return AdaptedClassifier(model, feature)
+    def install_adaptation(self, request, adapted, optimizer, seconds):
+        """Install an (externally computed) initial adaptation result.
+
+        The batched serving layer runs many requests fused and installs
+        each result here, so the session afterwards is indistinguishable
+        from one adapted sequentially.
+        """
+        self.labels = request.targets.astype(np.int64)
+        self.adapted = adapted
+        if optimizer is not None:
+            self.optimizer = optimizer
+        self.adapt_seconds = seconds
+        self.model_version += 1
+
+    def install_readaptation(self, adapted, extras=None):
+        """Install a re-adaptation result (keeps labels and optimizer).
+
+        ``extras`` is the ``(tuples, labels)`` pair returned by
+        :meth:`build_readapt_request_for`; it is recorded here — after
+        the adaptation succeeded — not at build time.
+        """
+        if extras is not None:
+            tuples, labels = extras
+            if self.extra_x is None:
+                self.extra_x, self.extra_y = tuples, labels
+            else:
+                self.extra_x = np.vstack([self.extra_x, tuples])
+                self.extra_y = np.concatenate([self.extra_y, labels])
+        self.adapted = adapted
+        self.model_version += 1
 
     # ------------------------------------------------------------------
     # Iterative exploration (paper Section III-B, "Other IDE Modules"):
     # additional labelled tuples from further rounds — e.g. picked by
     # active learning — re-adapt the learner from the meta initialization.
     # ------------------------------------------------------------------
-    def add_labels(self, tuples, labels):
+    def build_readapt_request_for(self, tuples, labels):
+        """Package a re-adaptation over the accumulated + new labels.
+
+        Pure with respect to session state: the new extras are returned
+        alongside the request and only recorded by
+        :meth:`install_readaptation`, so a failed (or abandoned)
+        adaptation leaves the session exactly as it was.
+        """
         if self.labels is None:
             raise RuntimeError("submit the initial labels first")
-        tuples = np.atleast_2d(np.asarray(tuples, dtype=np.float64))
-        labels = np.asarray(labels).ravel().astype(np.int64)
-        if len(tuples) != len(labels):
-            raise ValueError("tuples/labels length mismatch")
-        if self.extra_x is None:
-            self.extra_x, self.extra_y = tuples, labels
-        else:
-            self.extra_x = np.vstack([self.extra_x, tuples])
-            self.extra_y = np.concatenate([self.extra_y, labels])
-        all_x = np.vstack([self.initial_x, self.extra_x])
-        all_y = np.concatenate([self.labels, self.extra_y])
-        cfg = self.config
-        state = self.state
-        encoded = state.encode(all_x)
-        feature = self.adapted.feature_vector
-        if self.variant == "basic":
-            self.adapted = self._train_basic(feature, encoded,
-                                             all_y)
-        else:
-            self.adapted, _ = state.trainer.adapt(
-                feature, encoded, all_y,
-                local_steps=cfg.online_steps, local_lr=cfg.online_lr)
+        tuples, labels = self.validate_extra_labels(tuples, labels)
+        extra_x = tuples if self.extra_x is None \
+            else np.vstack([self.extra_x, tuples])
+        extra_y = labels if self.extra_y is None \
+            else np.concatenate([self.extra_y, labels])
+        all_x = np.vstack([self.initial_x, extra_x])
+        all_y = np.concatenate([self.labels, extra_y])
+        request = build_readapt_request(
+            self.state, self.variant, self.config,
+            self.adapted.feature_vector, self.state.encode(all_x), all_y)
+        return request, (tuples, labels)
+
+    def add_labels(self, tuples, labels):
+        request, extras = self.build_readapt_request_for(tuples, labels)
+        adapted, _ = run_adapt_request(request)
+        self.install_readaptation(adapted, extras)
 
     def most_uncertain(self, candidates, k=1):
         """Indices of the k candidates nearest the decision boundary."""

@@ -52,18 +52,29 @@ class FewShotOptimizer:
         self.inner_region = None
 
     # ------------------------------------------------------------------
-    def _expanded_region(self, positive_center_indices, n_neighbours):
+    def _expanded_region(self, positive_center_indices, n_neighbours,
+                         proximity_order=None, hull_cache=None):
         """Union of hulls over each anchor's n nearest C_u centers."""
         hulls = []
         for s_idx in positive_center_indices:
-            order = np.argsort(self.summary.proximity_s[s_idx])
-            members = self.summary.centers_u[order[:n_neighbours]]
-            # Include the anchor itself so the hull always covers it.
-            pts = np.vstack([self.summary.centers_s[s_idx][None, :], members])
-            hulls.append(Hull(pts))
+            key = (int(s_idx), int(n_neighbours))
+            hull = hull_cache.get(key) if hull_cache is not None else None
+            if hull is None:
+                order = proximity_order[s_idx] \
+                    if proximity_order is not None \
+                    else np.argsort(self.summary.proximity_s[s_idx])
+                members = self.summary.centers_u[order[:n_neighbours]]
+                # Include the anchor itself so the hull always covers it.
+                pts = np.vstack([self.summary.centers_s[s_idx][None, :],
+                                 members])
+                hull = Hull(pts)
+                if hull_cache is not None:
+                    hull_cache[key] = hull
+            hulls.append(hull)
         return UnionRegion(hulls) if hulls else None
 
-    def fit(self, support_labels_on_centers):
+    def fit(self, support_labels_on_centers, proximity_order=None,
+            hull_cache=None):
         """Build both subregions from the C_s center labels.
 
         Parameters
@@ -71,17 +82,104 @@ class FewShotOptimizer:
         support_labels_on_centers:
             0/1 labels of the ks initial centers (the user's labelling of
             the initial tuples, restricted to the C_s part).
+        proximity_order:
+            Optional precomputed ``argsort(proximity_s, axis=1)``; lets
+            batched fitting share one sort across every optimizer built on
+            the same cluster summary.
+        hull_cache:
+            Optional dict memoizing hulls by (anchor index, n_neighbours).
+            A hull depends only on the summary geometry — not on which
+            session labelled the anchor positive — so concurrent sessions
+            over one subspace share hulls instead of rebuilding them.
         """
         labels = np.asarray(support_labels_on_centers).ravel()
         if labels.size != self.summary.ks:
             raise ValueError("expected {} center labels, got {}".format(
                 self.summary.ks, labels.size))
         anchors = np.flatnonzero(labels == 1)
-        self.outer_region = self._expanded_region(anchors, self.n_sup)
-        self.inner_region = self._expanded_region(anchors, self.n_sub)
+        self.outer_region = self._expanded_region(
+            anchors, self.n_sup, proximity_order, hull_cache)
+        self.inner_region = self._expanded_region(
+            anchors, self.n_sub, proximity_order, hull_cache)
         return self
 
+    @classmethod
+    def fit_batch(cls, items):
+        """Build many optimizers, sharing geometry across one summary.
+
+        Amortizes the two batch-friendly invariants: the proximity sort
+        (one ``argsort`` per summary instead of one per anchor) and the
+        anchor hulls (each distinct (anchor, expansion) hull is built
+        once and shared by every session that labelled that center
+        positive — with K concurrent sessions per subspace this collapses
+        O(K * anchors) convex-hull constructions to O(anchors)).
+
+        Parameters
+        ----------
+        items:
+            Iterable of ``(summary, center_bits, n_sup_ratio, n_sub_ratio)``
+            tuples — typically one per concurrent serving session.
+
+        Returns
+        -------
+        List of fitted :class:`FewShotOptimizer`, in input order.
+        """
+        order_cache, hull_caches = {}, {}
+        fitted = []
+        for summary, center_bits, n_sup_ratio, n_sub_ratio in items:
+            order = order_cache.get(id(summary))
+            if order is None:
+                order = np.argsort(summary.proximity_s, axis=1)
+                order_cache[id(summary)] = order
+                hull_caches[id(summary)] = {}
+            fitted.append(cls(summary, n_sup_ratio=n_sup_ratio,
+                              n_sub_ratio=n_sub_ratio)
+                          .fit(center_bits, proximity_order=order,
+                               hull_cache=hull_caches[id(summary)]))
+        return fitted
+
     # ------------------------------------------------------------------
+    @staticmethod
+    def refine_batch(optimizers, points, predictions_list):
+        """Refine many sessions' predictions over one shared point set.
+
+        Optimizers built via :meth:`fit_batch` share hull objects, so the
+        expensive per-hull membership tests are memoized by hull identity
+        and computed once per batch instead of once per session.  Entries
+        whose optimizer is None pass through unchanged.  Result i equals
+        ``optimizers[i].refine(points, predictions_list[i])``.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        memo = {}
+
+        def union_contains(region):
+            mask = np.zeros(len(points), dtype=bool)
+            for hull in region.hulls:
+                member = memo.get(id(hull))
+                if member is None:
+                    member = hull.contains(points)
+                    memo[id(hull)] = member
+                mask |= member
+            return mask
+
+        results = []
+        for optimizer, predictions in zip(optimizers, predictions_list):
+            predictions = np.asarray(predictions).astype(np.int64).copy()
+            if optimizer is None or (optimizer.outer_region is None
+                                     and optimizer.inner_region is None):
+                results.append(predictions)
+                continue
+            if len(points) != len(predictions):
+                raise ValueError("points/predictions length mismatch")
+            if optimizer.outer_region is not None:
+                outside = ~union_contains(optimizer.outer_region)
+                predictions[outside & (predictions == 1)] = 0
+            if optimizer.inner_region is not None:
+                inside = union_contains(optimizer.inner_region)
+                predictions[inside & (predictions == 0)] = 1
+            results.append(predictions)
+        return results
+
     def refine(self, points, predictions):
         """Apply the FP then FN corrections to raw 0/1 predictions.
 

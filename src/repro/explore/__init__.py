@@ -4,12 +4,14 @@ from .metrics import (accuracy_score, classification_report, confusion_counts,
                       f1_score, precision_score, recall_score)
 from .oracle import ConjunctiveOracle, RegionOracle
 from .query_synthesis import SynthesizedQuery, synthesize_query
-from .session import ExplorationResult, run_lte_exploration
+from .session import (ExplorationResult, run_concurrent_explorations,
+                      run_lte_exploration)
 
 __all__ = [
     "f1_score", "precision_score", "recall_score", "accuracy_score",
     "confusion_counts", "classification_report",
     "RegionOracle", "ConjunctiveOracle",
-    "run_lte_exploration", "ExplorationResult",
+    "run_lte_exploration", "run_concurrent_explorations",
+    "ExplorationResult",
     "synthesize_query", "SynthesizedQuery",
 ]

@@ -11,7 +11,8 @@ import numpy as np
 from .metrics import f1_score
 from .oracle import ConjunctiveOracle
 
-__all__ = ["run_lte_exploration", "ExplorationResult"]
+__all__ = ["run_lte_exploration", "run_concurrent_explorations",
+           "ExplorationResult"]
 
 
 class ExplorationResult:
@@ -32,7 +33,7 @@ class ExplorationResult:
 
 
 def run_lte_exploration(lte, oracle, eval_rows, variant="meta_star",
-                        subspaces=None, seed=None):
+                        subspaces=None, seed=None, manager=None):
     """Run one full LTE online exploration against an oracle.
 
     Parameters
@@ -46,6 +47,11 @@ def run_lte_exploration(lte, oracle, eval_rows, variant="meta_star",
         Full-space rows on which the final F1 is measured.
     variant:
         ``"basic"``, ``"meta"`` or ``"meta_star"``.
+    manager:
+        Optional :class:`~repro.serve.SessionManager` built on ``lte``;
+        when given, the session is opened, adapted and predicted through
+        the serving layer (batched with any other pending work) instead
+        of sequentially.
 
     Returns
     -------
@@ -53,15 +59,19 @@ def run_lte_exploration(lte, oracle, eval_rows, variant="meta_star",
     """
     if not isinstance(oracle, ConjunctiveOracle):
         raise TypeError("run_lte_exploration needs a ConjunctiveOracle")
+    if manager is not None:
+        result, = run_concurrent_explorations(
+            lte, [oracle], eval_rows, variant=variant, subspaces=subspaces,
+            seeds=None if seed is None else [seed], manager=manager)
+        return result
+    eval_rows = np.atleast_2d(np.asarray(eval_rows, dtype=np.float64))
+    before = oracle.labels_given
     session = lte.start_session(variant=variant, subspaces=subspaces,
                                 seed=seed)
-    before = oracle.labels_given
     for subspace, tuples in session.initial_tuples().items():
-        labels = oracle.label_subspace(subspace, tuples)
-        session.submit_labels(subspace, labels)
+        session.submit_labels(subspace, oracle.label_subspace(subspace,
+                                                              tuples))
     labels_used = oracle.labels_given - before
-
-    eval_rows = np.atleast_2d(np.asarray(eval_rows, dtype=np.float64))
     predictions = session.predict(eval_rows)
     truth = oracle.ground_truth(eval_rows)
     return ExplorationResult(
@@ -71,3 +81,71 @@ def run_lte_exploration(lte, oracle, eval_rows, variant="meta_star",
         predictions=predictions,
         ground_truth=truth,
     )
+
+
+def run_concurrent_explorations(lte, oracles, eval_rows, variant="meta_star",
+                                subspaces=None, seeds=None, manager=None):
+    """Run many exploration sessions with one batched adaptation pass.
+
+    Opens one managed session per oracle, queues every session's initial
+    labels, adapts them all in fused batches via a
+    :class:`~repro.serve.SessionManager`, and scores each session exactly
+    like :func:`run_lte_exploration` would.
+
+    Parameters
+    ----------
+    oracles:
+        One :class:`~repro.explore.oracle.ConjunctiveOracle` per
+        concurrent session.
+    seeds:
+        Optional per-session seeds (default: the LTE config seed for
+        every session, i.e. identical initial tuples).
+    manager:
+        Reuse an existing manager (and its cache); default: a fresh one.
+
+    Returns
+    -------
+    List of :class:`ExplorationResult`, one per oracle.
+    """
+    from ..serve import SessionManager
+
+    if manager is None:
+        manager = SessionManager(lte)
+    elif manager.lte is not lte:
+        raise ValueError("manager serves a different LTE system than the "
+                         "one passed; sessions would use the wrong model")
+    eval_rows = np.atleast_2d(np.asarray(eval_rows, dtype=np.float64))
+    sids, befores = [], []
+    try:
+        for i, oracle in enumerate(oracles):
+            if not isinstance(oracle, ConjunctiveOracle):
+                raise TypeError(
+                    "run_concurrent_explorations needs ConjunctiveOracles")
+            sid = manager.open_session(
+                variant=variant, subspaces=subspaces,
+                seed=None if seeds is None else seeds[i])
+            befores.append(oracle.labels_given)
+            for subspace, tuples in manager.initial_tuples(sid).items():
+                manager.submit_labels(sid, subspace,
+                                      oracle.label_subspace(subspace, tuples))
+            sids.append(sid)
+        manager.flush()   # one fused adaptation across all sessions
+        predictions_by_sid = manager.predict_many(sids, eval_rows)
+
+        results = []
+        for sid, oracle, before in zip(sids, oracles, befores):
+            predictions = predictions_by_sid[sid]
+            truth = oracle.ground_truth(eval_rows)
+            results.append(ExplorationResult(
+                f1=f1_score(truth, predictions),
+                labels_used=oracle.labels_given - before,
+                adapt_seconds=manager.session(sid).adapt_seconds,
+                predictions=predictions,
+                ground_truth=truth,
+            ))
+        return results
+    finally:
+        # The session ids are not part of the return value, so leaving
+        # the sessions open on a caller-provided manager would leak them.
+        for sid in sids:
+            manager.close_session(sid)

@@ -6,13 +6,15 @@ learning framework dependency.  See DESIGN.md section 2.
 """
 
 from . import functional, init
-from .layers import MLP, Linear, Module, ReLU, Sequential, Sigmoid
+from .layers import (MLP, BatchedLinear, Linear, Module, ReLU, Sequential,
+                     Sigmoid, batch_modules, unstack_modules)
 from .optim import Adam, Optimizer, SGD
 from .tensor import Parameter, Tensor, no_grad
 
 __all__ = [
     "Tensor", "Parameter", "no_grad",
     "Module", "Linear", "ReLU", "Sigmoid", "Sequential", "MLP",
+    "BatchedLinear", "batch_modules", "unstack_modules",
     "Optimizer", "SGD", "Adam",
     "functional", "init",
 ]

@@ -15,6 +15,7 @@ from .tensor import Tensor
 __all__ = [
     "sigmoid", "relu", "softmax", "log_softmax",
     "binary_cross_entropy_with_logits", "balanced_pos_weight", "mse_loss",
+    "batched_binary_cross_entropy_with_logits", "batched_pos_weight",
     "cosine_similarity",
 ]
 
@@ -96,6 +97,68 @@ def balanced_pos_weight(targets, cap=10.0):
     if n_pos == 0 or n_neg == 0:
         return 1.0
     return float(min(cap, n_neg / n_pos))
+
+
+def batched_binary_cross_entropy_with_logits(logits, targets, pos_weight=None,
+                                             reduction="mean"):
+    """Per-task BCE over a stacked (K, n) logit batch.
+
+    The serving hot path trains K independent few-shot tasks in one
+    autograd graph; each task's loss must reduce over *its own* examples
+    only, so the reduction runs along the last axis and returns a (K,)
+    tensor (one loss per task).  Summing that vector and calling backward
+    yields for every task exactly the gradient the sequential per-task
+    ``binary_cross_entropy_with_logits(...).mean()`` would.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape (K, n) — K tasks, n examples each.
+    targets:
+        0/1 array broadcastable to ``logits``.
+    pos_weight:
+        Optional per-task positive-class weights, shape (K, 1) (or a
+        scalar applied to every task).
+    reduction:
+        ``"mean"`` / ``"sum"`` over each task's examples, or ``"none"``.
+    """
+    logits = Tensor._wrap(logits)
+    targets = np.asarray(
+        targets.data if isinstance(targets, Tensor) else targets,
+        dtype=np.float64)
+    softplus = (1.0 + (-logits.abs()).exp()).log()
+    losses = logits.relu() - logits * targets + softplus
+    if pos_weight is not None:
+        pos_weight = np.asarray(pos_weight, dtype=np.float64)
+        weights = np.where(targets == 1.0,
+                           np.broadcast_to(pos_weight, targets.shape), 1.0)
+        losses = losses * weights
+    if reduction == "mean":
+        return losses.mean(axis=-1)
+    if reduction == "sum":
+        return losses.sum(axis=-1)
+    if reduction == "none":
+        return losses
+    raise ValueError("unknown reduction: {!r}".format(reduction))
+
+
+def batched_pos_weight(targets, cap=10.0):
+    """Per-task :func:`balanced_pos_weight` over a (K, n) label batch.
+
+    Returns a (K, 1) array suitable as the ``pos_weight`` of
+    :func:`batched_binary_cross_entropy_with_logits`; tasks missing a
+    class get weight 1.0, matching the sequential helper task by task.
+    """
+    targets = np.atleast_2d(np.asarray(
+        targets.data if isinstance(targets, Tensor) else targets,
+        dtype=np.float64))
+    n_pos = (targets == 1).sum(axis=-1).astype(np.float64)
+    n_neg = (targets == 0).sum(axis=-1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where((n_pos > 0) & (n_neg > 0),
+                         np.minimum(cap, n_neg / np.maximum(n_pos, 1.0)),
+                         1.0)
+    return ratio[:, None]
 
 
 def mse_loss(pred, target, reduction="mean"):

@@ -77,6 +77,15 @@ class Adam(Optimizer):
             m += (1 - b1) * param.grad
             v *= b2
             v += (1 - b2) * param.grad ** 2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # In-place evaluation of
+            #   param - (lr * (m / bias1)) / (sqrt(v / bias2) + eps)
+            # in exactly that floating-point order — the serving layer's
+            # parity guarantee relies on sequential and batched updates
+            # producing identical bits, so only the temporaries differ.
+            update = m / bias1
+            update *= self.lr
+            denom = v / bias2
+            np.sqrt(denom, out=denom)
+            denom += self.eps
+            update /= denom
+            param.data = param.data - update

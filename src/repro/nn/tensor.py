@@ -203,15 +203,25 @@ class Tensor:
 
         def backward(grad):
             a, b = self.data, other.data
+            # Matmul backward is the hot path's most expensive op; skip
+            # the gemm for a side that cannot receive gradient (e.g. the
+            # constant input batch of a Linear layer).
+            need_a = self.requires_grad or self._backward is not None
+            need_b = other.requires_grad or other._backward is not None
             if a.ndim == 1 and b.ndim == 1:  # dot product -> scalar
-                return (grad * b, grad * a)
+                return (grad * b if need_a else None,
+                        grad * a if need_b else None)
             if a.ndim == 1:  # (k,) @ (k, n) -> (n,)
-                return (grad @ b.T, np.outer(a, grad))
+                return (grad @ b.T if need_a else None,
+                        np.outer(a, grad) if need_b else None)
             if b.ndim == 1:  # (m, k) @ (k,) -> (m,)
-                return (np.outer(grad, b), a.T @ grad)
-            ga = grad @ np.swapaxes(b, -1, -2)
-            gb = np.swapaxes(a, -1, -2) @ grad
-            return (_unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape))
+                return (np.outer(grad, b) if need_a else None,
+                        a.T @ grad if need_b else None)
+            ga = _unbroadcast(grad @ np.swapaxes(b, -1, -2), a.shape) \
+                if need_a else None
+            gb = _unbroadcast(np.swapaxes(a, -1, -2) @ grad, b.shape) \
+                if need_b else None
+            return (ga, gb)
 
         return self._from_op(self.data @ other.data, (self, other), backward)
 
@@ -324,6 +334,19 @@ class Tensor:
 
     def flatten(self):
         return self.reshape(-1)
+
+    def swapaxes(self, axis1, axis2):
+        """Exchange two axes (the batched analogue of ``.T``).
+
+        ``.T`` reverses *all* axes, which is wrong for stacked (K x m x n)
+        parameter tensors where the batch axis must stay put; the serving
+        hot path transposes per-task matrices with ``swapaxes(-1, -2)``.
+        """
+        def backward(grad):
+            return (np.swapaxes(grad, axis1, axis2),)
+
+        return self._from_op(np.swapaxes(self.data, axis1, axis2),
+                             (self,), backward)
 
     @property
     def T(self):

@@ -1,0 +1,50 @@
+"""repro.serve — batched multi-session serving for Learn-to-Explore.
+
+The online phase of LTE is the product: a user labels a handful of tuples
+per subspace and the pretrained meta-learner adapts in sub-second time.
+This package serves that loop for *many users at once* over one shared
+:class:`~repro.core.framework.LTE`: label submissions from all sessions
+queue up, one fused tensor program adapts every pending (session,
+subspace) task in stacked batches, and predictions are memoized in a
+versioned cache.  Batched sessions are bit-compatible with sequentially
+driven ones — the parity suite in ``tests/serve`` holds for all three
+variants (``basic``, ``meta``, ``meta_star``).
+
+Quickstart (mirrors ``examples/concurrent_sessions.py``)::
+
+    from repro.core import LTE, LTEConfig
+    from repro.data import make_sdss
+    from repro.serve import SessionManager
+
+    table = make_sdss(n_rows=10_000, seed=7)
+    lte = LTE(LTEConfig(n_tasks=40)).fit_offline(table)
+
+    manager = SessionManager(lte)
+    sids = [manager.open_session(variant="meta_star") for _ in users]
+    for sid, user in zip(sids, users):
+        for subspace, tuples in manager.initial_tuples(sid).items():
+            manager.submit_labels(sid, subspace, user.label(tuples))
+
+    manager.flush()          # ONE fused adaptation for every session
+    for sid in sids:
+        interesting = manager.retrieve(sid, limit=100)
+
+Modules
+-------
+``manager``
+    :class:`SessionManager` — session lifecycle, the submit/poll/flush
+    queue, and cached prediction.
+``batched``
+    :class:`BatchedUISClassifier` and :func:`run_adapt_requests` — the
+    vectorized adaptation hot path.
+``cache``
+    :class:`PredictionCache` — (session, subspace, model-version)-keyed
+    LRU memoization of prediction vectors.
+"""
+
+from .batched import BatchedUISClassifier, run_adapt_requests
+from .cache import PredictionCache, rows_digest
+from .manager import SessionManager
+
+__all__ = ["SessionManager", "BatchedUISClassifier", "run_adapt_requests",
+           "PredictionCache", "rows_digest"]

@@ -1,0 +1,266 @@
+"""Vectorized multi-task adaptation: the serving hot path.
+
+Online adaptation of one (session, subspace) pair is a few-shot
+fine-tuning loop over a tiny :class:`~repro.core.meta_learner.UISClassifier`
+— individually far too small to saturate anything, and dominated by
+Python/autograd overhead.  This module stacks K such tasks into fused
+tensors: a :class:`BatchedUISClassifier` holds (K, ...) parameter stacks
+(via :class:`~repro.nn.BatchedLinear`), the loss reduces per task along
+the last axis, and one Adam instance updates all K tasks at once.  Because
+the tasks are independent, the stacked computation is block-diagonal:
+every task receives exactly the gradients and updates the sequential path
+would give it, which the parity suite (``tests/serve``) verifies for all
+three variants.
+
+Entry point: :func:`run_adapt_requests` — takes
+:class:`~repro.core.framework.AdaptRequest` objects (any mix of variants,
+sessions and subspaces), buckets them by shape, trains each bucket fused,
+and returns per-request ``(AdaptedClassifier, FewShotOptimizer | None)``
+exactly like the sequential
+:func:`~repro.core.framework.run_adapt_request`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.functional import (batched_binary_cross_entropy_with_logits,
+                             batched_pos_weight)
+from ..nn.tensor import Parameter, Tensor
+from ..core.framework import run_adapt_request
+from ..core.meta_learner import UISClassifier
+from ..core.meta_training import AdaptedClassifier
+from ..core.optimizer import FewShotOptimizer
+
+__all__ = ["BatchedUISClassifier", "run_adapt_requests",
+           "predict_adapted_batch"]
+
+
+class BatchedUISClassifier(nn.Module):
+    """K structurally identical UIS classifiers fused into stacked blocks.
+
+    Mirrors :meth:`UISClassifier.forward` over a leading batch axis:
+    features (K, ku) and tuples (K, n, width) map to logits (K, n).
+    Built from per-task model instances (whose parameters seed the
+    stacks) and unstacked back into them after training.
+    """
+
+    def __init__(self, models):
+        super().__init__()
+        first = models[0]
+        for model in models:
+            if model.config != first.config:
+                raise ValueError("cannot batch UISClassifiers of mixed "
+                                 "configuration")
+        self.k = len(models)
+        self.ku = first.ku
+        self.embed_size = first.embed_size
+        self.use_conversion = first.use_conversion
+        self.uis_block = nn.batch_modules([m.uis_block for m in models])
+        self.tuple_block = nn.batch_modules([m.tuple_block for m in models])
+        self.clf_block = nn.batch_modules([m.clf_block for m in models])
+
+    def unstack_into(self, models):
+        """Copy the adapted per-slice parameters back into K models."""
+        nn.unstack_modules(self.uis_block, [m.uis_block for m in models])
+        nn.unstack_modules(self.tuple_block, [m.tuple_block for m in models])
+        nn.unstack_modules(self.clf_block, [m.clf_block for m in models])
+
+    def forward(self, feature_vectors, tuple_vectors, conversion=None):
+        """Stacked interestingness logits.
+
+        Parameters
+        ----------
+        feature_vectors:
+            (K, ku) UIS feature vectors, one per task.
+        tuple_vectors:
+            (K, n, input_width) preprocessed tuple batches.
+        conversion:
+            Optional (K, Ne, 3Ne) stacked conversion matrices.
+
+        Returns
+        -------
+        Tensor of shape (K, n) with raw logits.
+        """
+        if self.use_conversion and conversion is None:
+            raise ValueError("use_conversion=True requires conversion")
+        if not self.use_conversion and conversion is not None:
+            raise ValueError("conversion given but use_conversion=False")
+        v_r = Tensor._wrap(feature_vectors)
+        x = Tensor._wrap(tuple_vectors)
+        n = x.shape[1]
+
+        emb_r = self.uis_block(v_r.reshape(self.k, 1, self.ku))  # (K, 1, Ne)
+        emb_x = self.tuple_block(x)                              # (K, n, Ne)
+        # Differentiable broadcast of each task's emb_R to its n rows —
+        # same tiler trick as the sequential forward, batched by numpy's
+        # matmul broadcasting: (n, 1) @ (K, 1, Ne) -> (K, n, Ne).
+        tiler = Tensor(np.ones((n, 1)))
+        emb_r_rows = tiler @ emb_r
+        interaction = emb_r_rows * emb_x
+        combined = Tensor.concat([emb_r_rows, emb_x, interaction],
+                                 axis=-1)                        # (K, n, 3Ne)
+        if conversion is not None:
+            conversion = Tensor._wrap(conversion)
+            combined = combined @ conversion.swapaxes(-1, -2)    # (K, n, Ne)
+        logits = self.clf_block(combined)                        # (K, n, 1)
+        return logits.reshape(self.k, n)
+
+
+def _prepare_local_models(requests):
+    """Per-task initial models + conversion matrices for one bucket.
+
+    Replays exactly the task-wise initialization of the sequential paths:
+    Basic builds a fresh seed-``config.seed`` classifier; Meta/Meta* clone
+    the subspace's meta-learned phi and apply the memory retrievals
+    (attention -> theta_R shift, conversion matrix).
+    """
+    models, conversions = [], []
+    for request in requests:
+        cfg = request.config
+        state = request.state
+        if request.variant == "basic":
+            model = UISClassifier(
+                ku=state.summary.ku, input_width=state.preprocessor.width,
+                embed_size=cfg.embed_size, hidden_size=cfg.hidden_size,
+                use_conversion=False, seed=cfg.seed)
+            conversions.append(None)
+        else:
+            trainer = state.trainer
+            model = trainer.model.clone(seed=trainer.seed)
+            if trainer.use_memories:
+                attention = trainer.memories.attention(request.feature)
+                omega = trainer.memories.omega_r(attention)
+                model.set_theta_r_flat(
+                    model.get_theta_r_flat() - trainer.params.sigma * omega)
+                conversions.append(trainer.memories.conversion(attention))
+            else:
+                conversions.append(None)
+        models.append(model)
+    return models, conversions
+
+
+def _adapt_bucket(requests):
+    """Fused adaptation of shape-compatible requests (one per task)."""
+    first = requests[0]
+    models, conversions = _prepare_local_models(requests)
+    batched = BatchedUISClassifier(models)
+    conversion = None
+    if first.use_conversion:
+        conversion = Parameter(np.stack(conversions))
+
+    features = np.stack([r.feature for r in requests])        # (K, ku)
+    xs = np.stack([r.encoded for r in requests])              # (K, n, w)
+    ys = np.stack([r.targets for r in requests])              # (K, n)
+    pos_weight = batched_pos_weight(ys) if first.balance_classes else None
+
+    trainable = list(batched.parameters())
+    if conversion is not None:
+        trainable.append(conversion)
+    if first.optimizer_kind == "adam":
+        optimizer = nn.Adam(trainable, lr=first.lr)
+    else:
+        optimizer = nn.SGD(trainable, lr=first.lr)
+
+    # Step-count parity: the sequential basic trainer runs exactly
+    # ``basic_steps`` iterations, while ``MetaTrainer.adapt`` floors its
+    # local steps at 1.
+    steps = first.steps if first.variant == "basic" else max(1, first.steps)
+    for _ in range(steps):
+        optimizer.zero_grad()
+        logits = batched.forward(features, xs, conversion=conversion)
+        # Sum of per-task mean losses: block-diagonal, so each task's
+        # parameters see exactly their own sequential gradient.
+        loss = batched_binary_cross_entropy_with_logits(
+            logits, ys, pos_weight=pos_weight).sum()
+        loss.backward()
+        optimizer.step()
+
+    batched.unstack_into(models)
+    results = []
+    for i, request in enumerate(requests):
+        conv = Parameter(conversion.data[i].copy()) \
+            if conversion is not None else None
+        results.append(AdaptedClassifier(models[i], request.feature, conv))
+    return results
+
+
+def predict_adapted_batch(adapted_classifiers, tuple_vectors, threshold=0.5):
+    """Batched 0/1 predictions of K adapted classifiers on shared rows.
+
+    Serving sessions repeatedly score the *same* rows (a shared
+    evaluation sample, the full table) under *different* per-session
+    models; stacking the models turns K small forwards into one.  The
+    input batch is broadcast (stride-0) across the task axis, so no row
+    data is copied.  Slice k equals ``adapted_classifiers[k].predict``.
+
+    Parameters
+    ----------
+    adapted_classifiers:
+        K :class:`~repro.core.meta_training.AdaptedClassifier` with
+        structurally identical models.
+    tuple_vectors:
+        (n, input_width) preprocessed rows, shared by every task.
+
+    Returns
+    -------
+    (K, n) int array of 0/1 predictions.
+    """
+    models = [a.model for a in adapted_classifiers]
+    batched = BatchedUISClassifier(models)
+    features = np.stack([a.feature_vector for a in adapted_classifiers])
+    conversion = None
+    if batched.use_conversion:
+        conversion = np.stack([a.conversion.data
+                               for a in adapted_classifiers])
+    tuple_vectors = np.asarray(tuple_vectors, dtype=np.float64)
+    xs = np.broadcast_to(tuple_vectors,
+                         (batched.k,) + tuple_vectors.shape)
+    with nn.no_grad():
+        logits = batched.forward(features, xs, conversion=conversion)
+    proba = logits.sigmoid().numpy()
+    return (proba >= threshold).astype(np.int64)
+
+
+def run_adapt_requests(requests):
+    """Batched drop-in for running many sequential ``run_adapt_request``s.
+
+    Requests are grouped into shape-compatible buckets (same variant,
+    label count, representation width, hyper-parameters — sessions and
+    subspaces may differ freely inside a bucket) and each bucket trains
+    as one fused autograd graph.  Few-shot optimizers for ``meta_star``
+    requests are then batch-built with shared proximity sorts.
+
+    Returns ``[(AdaptedClassifier, FewShotOptimizer | None), ...]`` in
+    input order, element-for-element equivalent to
+    ``[run_adapt_request(r) for r in requests]``.
+    """
+    requests = list(requests)
+    adapted = [None] * len(requests)
+    buckets = {}
+    for i, request in enumerate(requests):
+        buckets.setdefault(request.shape_key(), []).append(i)
+    for indices in buckets.values():
+        group = [requests[i] for i in indices]
+        if len(group) == 1:
+            # A lone request gains nothing from stacking; run it on the
+            # sequential executor (identical math either way).
+            result, optimizer = run_adapt_request(group[0])
+            adapted[indices[0]] = (result, optimizer)
+            continue
+        for i, result in zip(indices, _adapt_bucket(group)):
+            adapted[i] = (result, None)
+
+    # Batch-build the geometric optimizers for meta_star requests that
+    # went through the fused path.
+    pending = [i for i, request in enumerate(requests)
+               if request.builds_optimizer and adapted[i][1] is None]
+    if pending:
+        fitted = FewShotOptimizer.fit_batch(
+            [(requests[i].state.summary, requests[i].center_bits,
+              requests[i].config.n_sup_ratio, requests[i].config.n_sub_ratio)
+             for i in pending])
+        for i, optimizer in zip(pending, fitted):
+            adapted[i] = (adapted[i][0], optimizer)
+    return adapted

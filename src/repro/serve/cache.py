@@ -1,0 +1,75 @@
+"""Versioned prediction cache for the serving layer.
+
+Sessions repeatedly predict over the same rows (full-table retrievals,
+fixed evaluation samples, dashboard refreshes).  Predictions only change
+when a session's model for a subspace changes, so the cache key is
+``(session, subspace, model-version, rows-digest)``: a new label
+submission bumps the model version and every stale entry simply stops
+being reachable, then ages out of the underlying
+:class:`~repro.core.memory.LRUStore`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..core.memory import LRUStore
+
+__all__ = ["PredictionCache", "rows_digest"]
+
+
+def rows_digest(rows):
+    """Stable 128-bit content digest of a prediction input matrix."""
+    rows = np.ascontiguousarray(np.asarray(rows, dtype=np.float64))
+    h = hashlib.blake2b(rows.tobytes(), digest_size=16)
+    h.update(str(rows.shape).encode())
+    return h.hexdigest()
+
+
+class PredictionCache:
+    """LRU cache of per-subspace prediction vectors, versioned per model.
+
+    Thread-compatible value semantics: stored arrays are returned as-is,
+    so callers must not mutate them (the manager copies on the way out of
+    its public API where mutation is plausible).
+    """
+
+    def __init__(self, capacity=1024):
+        self._store = LRUStore(capacity)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(session_id, subspace, model_version, digest):
+        """Cache key from a precomputed :func:`rows_digest`.
+
+        Takes the digest rather than the rows so callers scoring the
+        same rows for many sessions hash them once, not per session.
+        """
+        return (session_id, tuple(subspace.names), int(model_version),
+                digest)
+
+    def get(self, key):
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key, value):
+        self._store.put(key, value)
+
+    def invalidate_session(self, session_id):
+        """Drop every entry belonging to one session (e.g. on close)."""
+        return self._store.evict(lambda key: key[0] == session_id)
+
+    def __len__(self):
+        return len(self._store)
+
+    @property
+    def stats(self):
+        return {"entries": len(self._store), "hits": self.hits,
+                "misses": self.misses}

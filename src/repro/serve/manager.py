@@ -1,0 +1,397 @@
+"""Multi-session serving engine over one shared pretrained LTE.
+
+The :class:`SessionManager` multiplexes many concurrent
+:class:`~repro.core.framework.ExplorationSession`s and decouples the
+online loop into three independently scheduled stages:
+
+1. **submit** — ``submit_labels`` / ``add_labels`` validate and enqueue
+   label batches without training anything;
+2. **adapt** — ``flush`` (called explicitly or implicitly by ``poll`` /
+   ``predict``) drains the queue, buckets the pending adaptations across
+   *all* sessions by shape, and trains each bucket as one fused tensor
+   program (:func:`~repro.serve.batched.run_adapt_requests`);
+3. **predict** — per-subspace prediction vectors are memoized in a
+   versioned :class:`~repro.serve.cache.PredictionCache`, so repeated
+   retrievals over unchanged models are dictionary lookups.
+
+Sessions adapted through the manager are bit-compatible with sessions
+driven sequentially (see ``tests/serve/test_batched_parity.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from ..core.framework import LTE
+from ..core.memory import LRUStore
+from ..core.optimizer import FewShotOptimizer
+from .batched import predict_adapted_batch, run_adapt_requests
+from .cache import PredictionCache, rows_digest
+
+__all__ = ["SessionManager"]
+
+
+class _Pending:
+    """One queued label batch: initial submission or an extra round."""
+
+    __slots__ = ("session_id", "subspace", "labels", "tuples")
+
+    def __init__(self, session_id, subspace, labels, tuples=None):
+        self.session_id = session_id
+        self.subspace = subspace
+        self.labels = labels
+        self.tuples = tuples   # None -> initial labels; else add_labels round
+
+
+class SessionManager:
+    """Serves many concurrent exploration sessions with batched adaptation.
+
+    Parameters
+    ----------
+    lte:
+        A fitted :class:`~repro.core.framework.LTE` shared by every
+        session (its per-subspace meta-learners are read-only at serve
+        time, so sessions cannot interfere through it).
+    cache_entries:
+        Capacity of the versioned prediction cache.
+
+    Example
+    -------
+    ::
+
+        manager = SessionManager(lte)
+        sid = manager.open_session(variant="meta_star")
+        for subspace, tuples in manager.initial_tuples(sid).items():
+            manager.submit_labels(sid, subspace, user_labels(tuples))
+        manager.flush()              # one fused adaptation for everything
+        mask = manager.predict(sid, table.data)
+    """
+
+    def __init__(self, lte, cache_entries=1024):
+        if not isinstance(lte, LTE):
+            raise TypeError("SessionManager needs a fitted LTE system")
+        self.lte = lte
+        self.cache = PredictionCache(cache_entries)
+        # Preprocessed representations of prediction inputs are
+        # session-independent — every session scoring the same rows in a
+        # subspace shares one encode pass.
+        self._encoded_rows = LRUStore(32)
+        self._sessions = {}
+        self._queue = deque()
+        self._next_id = 0
+        self._lock = threading.RLock()
+        self.adapt_batches = 0   # flush calls that trained something
+        self.adapted_total = 0   # (session, subspace) adaptations served
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def open_session(self, variant="meta_star", subspaces=None, seed=None):
+        """Open a managed exploration session; returns its id."""
+        with self._lock:
+            session = self.lte.start_session(variant=variant,
+                                             subspaces=subspaces, seed=seed)
+            session_id = self._next_id
+            self._next_id += 1
+            self._sessions[session_id] = session
+            return session_id
+
+    def close_session(self, session_id):
+        """Forget a session and drop its queued work and cache entries."""
+        with self._lock:
+            self._require(session_id)
+            del self._sessions[session_id]
+            self._queue = deque(p for p in self._queue
+                                if p.session_id != session_id)
+            self.cache.invalidate_session(session_id)
+
+    def session(self, session_id):
+        """The underlying :class:`ExplorationSession` (escape hatch)."""
+        self._require(session_id)
+        return self._sessions[session_id]
+
+    @property
+    def n_sessions(self):
+        return len(self._sessions)
+
+    def _require(self, session_id):
+        if session_id not in self._sessions:
+            raise KeyError("unknown session id {!r}".format(session_id))
+        return True
+
+    # ------------------------------------------------------------------
+    # Stage 1: label submission (enqueue only)
+    # ------------------------------------------------------------------
+    def initial_tuples(self, session_id):
+        """{subspace: raw tuples} the session's user must label."""
+        return self.session(session_id).initial_tuples()
+
+    def submit_labels(self, session_id, subspace, labels):
+        """Queue a session's initial labels for one subspace.
+
+        Validation is immediate; the adaptation itself runs at the next
+        :meth:`flush`, batched with whatever else is pending.
+        """
+        with self._lock:
+            session = self.session(session_id)
+            labels = session._subsessions[subspace] \
+                .validate_initial_labels(labels)
+            self._queue.append(_Pending(session_id, subspace, labels))
+
+    def submit_all_labels(self, session_id, labels_by_subspace):
+        for subspace, labels in labels_by_subspace.items():
+            self.submit_labels(session_id, subspace, labels)
+
+    def add_labels(self, session_id, subspace, tuples, labels):
+        """Queue an iterative-exploration label round for re-adaptation."""
+        with self._lock:
+            session = self.session(session_id)
+            if session._subsessions[subspace].labels is None and not any(
+                    p.session_id == session_id and p.subspace == subspace
+                    and p.tuples is None for p in self._queue):
+                raise RuntimeError("submit the initial labels first")
+            tuples, labels = session._subsessions[subspace] \
+                .validate_extra_labels(tuples, labels)
+            self._queue.append(_Pending(session_id, subspace, labels, tuples))
+
+    def pending(self, session_id=None):
+        """Queued (session, subspace) pairs, optionally for one session."""
+        with self._lock:
+            return [(p.session_id, p.subspace) for p in self._queue
+                    if session_id is None or p.session_id == session_id]
+
+    # ------------------------------------------------------------------
+    # Stage 2: batched adaptation
+    # ------------------------------------------------------------------
+    def flush(self):
+        """Drain the queue through one fused batched adaptation.
+
+        Returns the number of (session, subspace) adaptations performed.
+        Queue order is preserved per (session, subspace): an initial
+        submission queued before an extra round is installed first.
+
+        A queued item whose request cannot be built (e.g. labels for a
+        meta variant whose subspace was never meta-trained) is discarded
+        and does not take the rest of the queue down with it: every
+        other item still adapts, after which the first error re-raises.
+        If the fused training itself fails, nothing from the affected
+        wave was installed; the un-adapted items stay queued for retry.
+        """
+        with self._lock:
+            work = list(self._queue)
+            self._queue.clear()
+            done = 0
+            errors = []
+            # Items targeting the *same* (session, subspace) must run in
+            # submission order (an extra round trains on the installed
+            # result of the initial one), so the queue drains in waves:
+            # each wave fuses at most one item per (session, subspace).
+            while work:
+                wave, rest, seen = [], [], set()
+                for item in work:
+                    key = (item.session_id, item.subspace)
+                    (rest if key in seen else wave).append(item)
+                    seen.add(key)
+                try:
+                    done += self._run_wave(wave, errors)
+                except Exception:
+                    # Training itself blew up.  Nothing from this wave
+                    # was installed or recorded, so the whole wave plus
+                    # the never-attempted later waves go back on the
+                    # queue for a retry.
+                    self._queue.extend(wave)
+                    self._queue.extend(rest)
+                    raise
+                work = rest
+            if errors:
+                raise errors[0]
+            return done
+
+    def _run_wave(self, wave, errors):
+        start = time.perf_counter()
+        requests, installs = [], []
+        for item in wave:
+            subsession = \
+                self._sessions[item.session_id]._subsessions[item.subspace]
+            try:
+                if item.tuples is None:
+                    request = subsession.build_initial_request(item.labels)
+                    installs.append((subsession, None))
+                else:
+                    request, extras = subsession.build_readapt_request_for(
+                        item.tuples, item.labels)
+                    installs.append((subsession, extras))
+            except Exception as error:   # isolate the offending item
+                errors.append(error)
+                continue
+            requests.append(request)
+        if not requests:
+            return 0
+        results = run_adapt_requests(requests)
+        share = (time.perf_counter() - start) / len(results)
+        for (subsession, extras), request, (adapted, optimizer) in zip(
+                installs, requests, results):
+            if extras is None:
+                subsession.install_adaptation(request, adapted, optimizer,
+                                              share)
+            else:
+                subsession.install_readaptation(adapted, extras)
+        self.adapt_batches += 1
+        self.adapted_total += len(results)
+        return len(results)
+
+    def poll(self, session_id, advance=True):
+        """Report the session's serving state, advancing work by default.
+
+        With ``advance=True`` every queued adaptation (for all sessions)
+        is flushed first, so ``pending`` comes back empty and ``ready``
+        reflects the post-flush state; with ``advance=False`` the queue
+        is only inspected — ``pending`` then lists the session's
+        subspaces still awaiting adaptation.  ``versions`` carries the
+        per-subspace model versions that key the prediction cache.
+        """
+        with self._lock:
+            session = self.session(session_id)
+            if advance:
+                self.flush()
+            ready = [s for s, ss in session._subsessions.items()
+                     if ss.adapted is not None]
+            pending = [s for _, s in self.pending(session_id)]
+            return {
+                "ready": ready,
+                "pending": pending,
+                "versions": {s: ss.model_version
+                             for s, ss in session._subsessions.items()},
+            }
+
+    # ------------------------------------------------------------------
+    # Stage 3: cached, batched prediction
+    # ------------------------------------------------------------------
+    def _subspace_artifacts(self, subspace, state, points):
+        """(digest, scaled, encoded) for subspace points, encode-cached."""
+        digest = rows_digest(points)
+        key = (tuple(subspace.names), digest)
+        artifacts = self._encoded_rows.get(key)
+        if artifacts is None:
+            scaled = state.to_scaled(points)
+            artifacts = (scaled, state.encode_scaled(scaled))
+            self._encoded_rows.put(key, artifacts)
+        return (digest,) + artifacts
+
+    def _predict_group(self, subspace, points, per_session):
+        """Predict one subspace's points for many sessions at once.
+
+        ``per_session`` maps session_id -> _SubspaceSession.  Cache hits
+        are served directly; misses are scored in one stacked forward
+        pass (falling back to the per-session path for singletons or
+        structurally different models) and then geometrically refined
+        per session.  Returns {session_id: (n,) 0/1 predictions}.
+        """
+        state = next(iter(per_session.values())).state
+        digest, scaled, encoded = self._subspace_artifacts(
+            subspace, state, points)
+        out, misses = {}, {}
+        for session_id, subsession in per_session.items():
+            key = self.cache.key(session_id, subspace,
+                                 subsession.model_version, digest)
+            cached = self.cache.get(key)
+            if cached is None:
+                group = misses.setdefault(
+                    tuple(sorted(subsession.adapted.model.config.items())),
+                    [])
+                group.append((session_id, subsession, key))
+            else:
+                out[session_id] = cached
+        for group in misses.values():
+            if len(group) == 1:
+                session_id, subsession, key = group[0]
+                stacked = subsession.adapted.predict(encoded)[None, :]
+            else:
+                stacked = predict_adapted_batch(
+                    [subsession.adapted for _, subsession, _ in group],
+                    encoded)
+            # Geometric refinement shares per-hull membership across the
+            # whole group (sessions built via fit_batch share hulls).
+            refined = FewShotOptimizer.refine_batch(
+                [subsession.optimizer for _, subsession, _ in group],
+                scaled, stacked)
+            for (session_id, subsession, key), predictions in zip(group,
+                                                                  refined):
+                self.cache.put(key, predictions)
+                out[session_id] = predictions
+        return out
+
+    def predict_subspace(self, session_id, subspace, points):
+        """Cached 0/1 UIS membership for subspace-coordinate points."""
+        with self._lock:
+            self.flush()
+            session = self.session(session_id)
+            points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+            subsession = session._subsessions[subspace]
+            if subsession.adapted is None:
+                raise RuntimeError("labels not yet submitted for subspace {}"
+                                   .format(subspace))
+            group = self._predict_group(subspace, points,
+                                        {session_id: subsession})
+            return group[session_id].copy()
+
+    def predict_many(self, session_ids, rows):
+        """0/1 UIR membership of ``rows`` for many sessions at once.
+
+        The fused counterpart of calling :meth:`predict` per session:
+        rows are projected and encoded once per subspace, and all
+        sessions' classifiers score them in stacked forward passes.
+        Returns ``{session_id: (n,) predictions}``.
+        """
+        with self._lock:
+            self.flush()
+            rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+            sessions = {sid: self.session(sid) for sid in session_ids}
+            results = {sid: np.ones(len(rows), dtype=np.int64)
+                       for sid in sessions}
+            groups = {}
+            for sid, session in sessions.items():
+                for subspace, subsession in session._subsessions.items():
+                    if subsession.adapted is None:
+                        raise RuntimeError(
+                            "labels not yet submitted for subspace {}"
+                            .format(subspace))
+                    groups.setdefault(subspace, {})[sid] = subsession
+            for subspace, per_session in groups.items():
+                projected = subspace.project(rows)
+                for sid, predictions in self._predict_group(
+                        subspace, projected, per_session).items():
+                    results[sid] &= predictions
+            return results
+
+    def predict(self, session_id, rows):
+        """Cached 0/1 UIR membership for full-space rows (conjunctive)."""
+        return self.predict_many([session_id], rows)[session_id]
+
+    def retrieve(self, session_id, rows=None, limit=None):
+        """Rows predicted interesting for the session (cached)."""
+        if rows is None:
+            rows = self.lte.table.data
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        mask = self.predict(session_id, rows) == 1
+        result = rows[mask]
+        if limit is not None:
+            result = result[:int(limit)]
+        return result
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        """Serving counters: sessions, queue depth, batches, cache."""
+        with self._lock:
+            return {
+                "sessions": self.n_sessions,
+                "queued": len(self._queue),
+                "adapt_batches": self.adapt_batches,
+                "adapted_total": self.adapted_total,
+                "cache": self.cache.stats,
+            }

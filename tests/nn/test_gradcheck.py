@@ -178,6 +178,149 @@ def test_cosine_similarity_grad_both_inputs():
     assert np.allclose(tm.grad, nm, atol=ATOL)
 
 
+# ----------------------------------------------------------------------
+# Batched ops (the serving hot path): stacked matmul, swapaxes, batched
+# linear layers and the per-task-reduced BCE.
+# ----------------------------------------------------------------------
+def test_batched_matmul_grad_both_sides():
+    a = Tensor(RNG.normal(size=(3, 4, 5)), requires_grad=True)
+    b = Tensor(RNG.normal(size=(3, 5, 2)), requires_grad=True)
+    (a @ b).sum().backward()
+    na = numeric_grad(lambda v: (Tensor(v) @ b.detach()).sum().item(), a.data)
+    nb = numeric_grad(lambda v: (a.detach() @ Tensor(v)).sum().item(), b.data)
+    assert np.allclose(a.grad, na, atol=ATOL)
+    assert np.allclose(b.grad, nb, atol=ATOL)
+
+
+def test_batched_matmul_broadcast_grad():
+    """(n, 1) @ (K, 1, m) — the tiler broadcast of the batched forward."""
+    tiler = Tensor(np.ones((4, 1)), requires_grad=True)
+    emb = Tensor(RNG.normal(size=(3, 1, 5)), requires_grad=True)
+    (tiler @ emb).sum().backward()
+    nt = numeric_grad(lambda v: (Tensor(v) @ emb.detach()).sum().item(),
+                      tiler.data)
+    ne = numeric_grad(lambda v: (tiler.detach() @ Tensor(v)).sum().item(),
+                      emb.data)
+    assert np.allclose(tiler.grad, nt, atol=ATOL)
+    assert np.allclose(emb.grad, ne, atol=ATOL)
+
+
+def test_batched_matmul_single_element_batch_grad():
+    """K = 1: the degenerate stacked batch must still check out."""
+    a = Tensor(RNG.normal(size=(1, 3, 4)), requires_grad=True)
+    b = Tensor(RNG.normal(size=(1, 4, 2)), requires_grad=True)
+    (a @ b).sum().backward()
+    na = numeric_grad(lambda v: (Tensor(v) @ b.detach()).sum().item(), a.data)
+    nb = numeric_grad(lambda v: (a.detach() @ Tensor(v)).sum().item(), b.data)
+    assert np.allclose(a.grad, na, atol=ATOL)
+    assert np.allclose(b.grad, nb, atol=ATOL)
+
+
+def test_batched_matmul_non_contiguous_grad():
+    """Non-contiguous (transposed-view) operands of a stacked matmul."""
+    base = RNG.normal(size=(4, 3, 5))
+    a = Tensor(np.swapaxes(base, 0, 1), requires_grad=True)  # view
+    assert not a.data.flags["C_CONTIGUOUS"]
+    b = Tensor(RNG.normal(size=(3, 5, 2)), requires_grad=True)
+    (a @ b).sum().backward()
+    na = numeric_grad(
+        lambda v: (Tensor(v) @ b.detach()).sum().item(),
+        np.ascontiguousarray(a.data))
+    assert np.allclose(a.grad, na, atol=ATOL)
+
+
+def test_swapaxes_grad():
+    check(lambda t: t.swapaxes(-1, -2), RNG.normal(size=(2, 3, 4)))
+    weights = RNG.normal(size=(4, 3, 2))
+    check(lambda t: t.swapaxes(0, 2) * weights, RNG.normal(size=(2, 3, 4)))
+
+
+def test_batched_linear_matches_stacked_linears():
+    from repro.nn import BatchedLinear, Linear
+
+    rng = np.random.default_rng(3)
+    linears = [Linear(4, 3, rng=np.random.default_rng(10 + i))
+               for i in range(3)]
+    batched = BatchedLinear.from_linears(linears)
+    x = rng.normal(size=(3, 5, 4))
+    out = batched(Tensor(x))
+    for i, lin in enumerate(linears):
+        assert np.allclose(out.data[i], lin(Tensor(x[i])).data, atol=1e-12)
+
+
+def test_batched_linear_gradcheck():
+    from repro.nn import BatchedLinear
+
+    batched = BatchedLinear(2, 3, 2, rng=np.random.default_rng(0))
+    x = RNG.normal(size=(2, 4, 3))
+
+    def loss_at(flat):
+        offset = 0
+        for p in batched.parameters():
+            p.copy_(flat[offset:offset + p.size].reshape(p.data.shape))
+            offset += p.size
+        return (batched(Tensor(x)) ** 2).sum().item()
+
+    flat0 = batched.flat_parameters().copy()
+    batched.zero_grad()
+    (batched(Tensor(x)) ** 2).sum().backward()
+    auto = np.concatenate([p.grad.ravel() for p in batched.parameters()])
+    numeric = numeric_grad(loss_at, flat0)
+    batched.load_flat_parameters(flat0)
+    assert np.allclose(auto, numeric, atol=1e-4)
+
+
+def test_batched_bce_grad_matches_numeric():
+    from repro.nn.functional import batched_binary_cross_entropy_with_logits
+
+    logits = RNG.normal(size=(3, 6)) * 2
+    targets = RNG.integers(0, 2, size=(3, 6)).astype(float)
+    pos_weight = np.array([[1.0], [2.5], [4.0]])
+    t = Tensor(logits.copy(), requires_grad=True)
+    batched_binary_cross_entropy_with_logits(
+        t, targets, pos_weight=pos_weight).sum().backward()
+    expected = numeric_grad(
+        lambda v: batched_binary_cross_entropy_with_logits(
+            Tensor(v), targets, pos_weight=pos_weight).sum().item(), logits)
+    assert np.allclose(t.grad, expected, atol=ATOL)
+
+
+def test_batched_bce_matches_per_task_sequential():
+    """Summed batched loss gradient == per-task sequential loss gradients."""
+    from repro.nn.functional import (balanced_pos_weight,
+                                     batched_binary_cross_entropy_with_logits,
+                                     batched_pos_weight)
+
+    logits = RNG.normal(size=(4, 7))
+    targets = RNG.integers(0, 2, size=(4, 7)).astype(float)
+    pos_weight = batched_pos_weight(targets)
+    t = Tensor(logits.copy(), requires_grad=True)
+    batched_binary_cross_entropy_with_logits(
+        t, targets, pos_weight=pos_weight).sum().backward()
+    for k in range(4):
+        row = Tensor(logits[k].copy(), requires_grad=True)
+        binary_cross_entropy_with_logits(
+            row, targets[k],
+            pos_weight=balanced_pos_weight(targets[k])).backward()
+        assert np.allclose(t.grad[k], row.grad, atol=1e-12)
+        assert np.isclose(pos_weight[k, 0], balanced_pos_weight(targets[k]))
+
+
+def test_batched_bce_single_task_edge_case():
+    from repro.nn.functional import batched_binary_cross_entropy_with_logits
+
+    logits = RNG.normal(size=(1, 5))
+    targets = np.ones((1, 5))   # single class -> pos_weight path disabled
+    t = Tensor(logits.copy(), requires_grad=True)
+    loss = batched_binary_cross_entropy_with_logits(t, targets)
+    assert loss.shape == (1,)
+    loss.sum().backward()
+    expected = numeric_grad(
+        lambda v: batched_binary_cross_entropy_with_logits(
+            Tensor(v), targets).sum().item(), logits)
+    assert np.allclose(t.grad, expected, atol=ATOL)
+
+
 def test_full_classifier_forward_gradcheck():
     """End-to-end gradient check through the UISClassifier composite."""
     from repro.core.meta_learner import UISClassifier

@@ -5,7 +5,8 @@ import importlib
 import pytest
 
 PACKAGES = ["repro", "repro.nn", "repro.ml", "repro.geometry", "repro.data",
-            "repro.core", "repro.baselines", "repro.explore", "repro.bench"]
+            "repro.core", "repro.baselines", "repro.explore", "repro.bench",
+            "repro.serve"]
 
 
 @pytest.mark.parametrize("name", PACKAGES)
