@@ -16,6 +16,13 @@ crossing 3x at 32 concurrent sessions.
 The config is smoke-sized (small embeddings, few meta-tasks) so the whole
 bench runs in well under 30 seconds at the quick scale; K=128 is added at
 medium/paper scales.
+
+Warm starts: set ``REPRO_PERSIST_WARMSTART=/path/to/checkpoint`` to skip
+the offline pretraining cost on repeat runs — the first run saves the
+pretrained meta-learners there (:func:`repro.persist.save_pretrained`)
+and every later run restores them into freshly prepared offline
+artifacts (:func:`repro.persist.load_pretrained`).  The CI persist lane
+exercises exactly this save -> kill -> restore path.
 """
 
 import os
@@ -32,18 +39,22 @@ from repro.data import make_sdss
 from repro.data.subspaces import random_decomposition
 from repro.explore import (ConjunctiveOracle, run_concurrent_explorations,
                            run_lte_exploration)
+from repro.persist import CheckpointError, load_pretrained, save_pretrained
 
 SESSION_COUNTS = (1, 8, 32)
 VARIANT = "meta_star"
 # The acceptance bar is 3x on dedicated hardware; shared CI runners set
 # REPRO_MIN_SPEEDUP lower so timing noise cannot block unrelated merges.
 MIN_SPEEDUP = float(os.environ.get("REPRO_MIN_SPEEDUP", "3.0"))
+# Optional checkpoint directory for warm-started runs (see module doc).
+WARMSTART = os.environ.get("REPRO_PERSIST_WARMSTART")
 
 
 def _build_serving_lte():
     """Smoke-sized system: the serving regime is many sessions over a
     small per-subspace learner, so modest embeddings are the realistic
-    (and fast) configuration."""
+    (and fast) configuration.  With ``REPRO_PERSIST_WARMSTART`` set, the
+    meta-learners come from (or are saved to) a checkpoint."""
     table = make_sdss(n_rows=6000, seed=7)
     config = LTEConfig(budget=30, ku=40, kq=60, n_tasks=10,
                        embed_size=32, hidden_size=32, n_components=4,
@@ -53,7 +64,21 @@ def _build_serving_lte():
     lte = LTE(config)
     subspaces = random_decomposition(table, dim=config.subspace_dim,
                                      seed=config.seed)[:2]
+    if WARMSTART and os.path.isfile(os.path.join(WARMSTART,
+                                                 "manifest.json")):
+        lte.fit_offline(table, subspaces=subspaces, train=False)
+        try:
+            load_pretrained(WARMSTART, lte)
+            return lte, subspaces
+        except CheckpointError as error:
+            # A corrupt or mismatched checkpoint must not brick the
+            # bench: fall back to a cold start and overwrite it.
+            print("warm start failed ({}); pretraining cold".format(error))
+            lte = LTE(config)
     lte.fit_offline(table, subspaces=subspaces)
+    if WARMSTART:
+        save_pretrained(WARMSTART, lte,
+                        meta={"source": "bench_serving_throughput"})
     return lte, subspaces
 
 

@@ -21,6 +21,10 @@ Packages
     Batched multi-session serving: many concurrent exploration sessions
     adapted in fused tensor batches over one shared LTE, with a
     versioned prediction cache.
+``repro.persist``
+    Versioned checkpoint/restore (npz + JSON manifest with schema
+    version and content digest) for pretrained artifacts, resumable
+    sessions and warm-started serving snapshots.
 """
 
 from .core import LTE, LTEConfig

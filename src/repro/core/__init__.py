@@ -15,7 +15,7 @@ from .meta_task import (ClusterSummary, MetaTask, MetaTaskGenerator,
                         build_cluster_summary, expand_bits,
                         uis_feature_vector)
 from .meta_training import AdaptedClassifier, MetaHyperParams, MetaTrainer
-from .optimizer import FewShotOptimizer
+from .optimizer import FewShotOptimizer, HullRegistry
 from .preprocessing import (AttributeEncoder, GMMEncoder, JKCEncoder,
                             MinMaxEncoder, TabularPreprocessor)
 from .uis import PAPER_MODES, UISGenerator, UISMode
@@ -28,7 +28,7 @@ __all__ = [
     "MetaTask", "MetaTaskGenerator", "ClusterSummary",
     "build_cluster_summary", "uis_feature_vector", "expand_bits",
     "MetaTrainer", "MetaHyperParams", "AdaptedClassifier",
-    "FewShotOptimizer",
+    "FewShotOptimizer", "HullRegistry",
     "TabularPreprocessor", "AttributeEncoder", "GMMEncoder", "JKCEncoder",
     "MinMaxEncoder",
     "UISMode", "UISGenerator", "PAPER_MODES",

@@ -38,7 +38,7 @@ from ..nn.functional import (balanced_pos_weight,
 from .meta_learner import UISClassifier
 from .meta_task import MetaTaskGenerator, uis_feature_vector
 from .meta_training import AdaptedClassifier, MetaHyperParams, MetaTrainer
-from .optimizer import FewShotOptimizer
+from .optimizer import FewShotOptimizer, HullRegistry
 from .preprocessing import TabularPreprocessor
 from .uis import UISMode
 
@@ -569,6 +569,67 @@ class _SubspaceSession:
         adapted, _ = run_adapt_request(request)
         self.install_readaptation(adapted, extras)
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self, hull_registry=None):
+        """Checkpointable online state of this (session, subspace) pair.
+
+        Everything the online phase accumulated — the drawn initial
+        tuples, labels, the adapted classifier, the few-shot optimizer's
+        regions, the model version — but none of the offline artifacts
+        (those are restored from the LTE system itself).
+        """
+
+        def array_or_none(value):
+            return None if value is None else np.asarray(value).copy()
+
+        return {
+            "initial_scaled": self._initial_scaled.copy(),
+            "labels": array_or_none(self.labels),
+            "extra_x": array_or_none(self.extra_x),
+            "extra_y": array_or_none(self.extra_y),
+            "model_version": int(self.model_version),
+            "adapt_seconds": None if self.adapt_seconds is None
+            else float(self.adapt_seconds),
+            "adapted": None if self.adapted is None
+            else self.adapted.state_dict(),
+            "optimizer": None if self.optimizer is None
+            else self.optimizer.state_dict(hull_registry),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state, subspace_state, variant, config,
+                        hulls=None):
+        """Rebuild the online state captured by :meth:`state_dict`.
+
+        ``subspace_state`` is the live :class:`SubspaceState` from the
+        (re-trained or restored) LTE system; ``hulls`` the shared hull
+        list when the optimizer state was captured against a
+        :class:`~repro.core.optimizer.HullRegistry`.
+        """
+        session = cls.__new__(cls)
+        session.state = subspace_state
+        session.variant = variant
+        session.config = config
+        session._initial_scaled = np.asarray(state["initial_scaled"],
+                                             dtype=np.float64)
+        session.initial_x = subspace_state.to_raw(session._initial_scaled)
+        session.labels = None if state["labels"] is None \
+            else np.asarray(state["labels"]).astype(np.int64)
+        session.extra_x = None if state["extra_x"] is None \
+            else np.asarray(state["extra_x"], dtype=np.float64)
+        session.extra_y = None if state["extra_y"] is None \
+            else np.asarray(state["extra_y"]).astype(np.int64)
+        session.model_version = int(state["model_version"])
+        session.adapt_seconds = state["adapt_seconds"]
+        session.adapted = None if state["adapted"] is None \
+            else AdaptedClassifier.from_state_dict(state["adapted"])
+        session.optimizer = None if state["optimizer"] is None \
+            else FewShotOptimizer.from_state_dict(
+                state["optimizer"], subspace_state.summary, hulls=hulls)
+        return session
+
     def most_uncertain(self, candidates, k=1):
         """Indices of the k candidates nearest the decision boundary."""
         if self.adapted is None:
@@ -607,6 +668,60 @@ class ExplorationSession:
     @property
     def subspaces(self):
         return list(self._subsessions)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (resumable sessions)
+    # ------------------------------------------------------------------
+    def state_dict(self, hull_registry=None):
+        """Checkpointable state of the whole session.
+
+        Subspaces are identified by attribute names (not indices), so the
+        state restores against any LTE system trained over the same
+        decomposition.  Pass a shared
+        :class:`~repro.core.optimizer.HullRegistry` when snapshotting
+        many sessions at once (the serving layer does); without one the
+        state embeds its own hull table and is self-contained.
+        """
+        registry = hull_registry if hull_registry is not None \
+            else HullRegistry()
+        state = {
+            "variant": self.variant,
+            "subspaces": [list(s.names) for s in self._subsessions],
+            "sessions": [ss.state_dict(registry)
+                         for ss in self._subsessions.values()],
+        }
+        if hull_registry is None:
+            state["hulls"] = registry.state()
+        return state
+
+    @classmethod
+    def from_state_dict(cls, lte, state, hulls=None):
+        """Rebuild a session captured by :meth:`state_dict` over ``lte``.
+
+        The LTE system supplies every offline artifact (scalers,
+        preprocessors, cluster summaries, meta-learners); the state
+        supplies the online remainder.  A subspace in the state with no
+        offline counterpart in ``lte`` raises ``KeyError``.
+        """
+        if hulls is None and "hulls" in state:
+            hulls = HullRegistry.restore(state["hulls"]).hulls
+        by_key = {s.key: s for s in lte.states}
+        session = cls.__new__(cls)
+        session.lte = lte
+        session.variant = state["variant"]
+        session._subsessions = {}
+        for names, sub_state in zip(state["subspaces"], state["sessions"]):
+            key = tuple(sorted(names))
+            if key not in by_key:
+                raise KeyError(
+                    "no offline state for subspace {} in the target LTE "
+                    "system; the checkpoint belongs to a different "
+                    "decomposition".format(tuple(names)))
+            subspace = by_key[key]
+            session._subsessions[subspace] = _SubspaceSession.from_state_dict(
+                sub_state, lte.states[subspace], session.variant, lte.config,
+                hulls=hulls)
+        return session
 
     # ------------------------------------------------------------------
     def initial_tuples(self):

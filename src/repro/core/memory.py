@@ -44,6 +44,15 @@ class LRUStore:
     unbounded-key cousin for *derived* artifacts — the serving layer keeps
     per-(session, subspace, model-version) prediction vectors in one so
     repeated predictions over the same rows cost a dictionary lookup.
+
+    Aliasing contract: the store holds *references* — :meth:`put` does
+    not copy the value and :meth:`get` returns the stored object itself.
+    A caller that mutates a retrieved value mutates the store.  Layers
+    that hand stored values across a trust boundary must either copy on
+    the way out or store immutable values; the serving layer's
+    :class:`~repro.serve.cache.PredictionCache` does the latter (it
+    freezes arrays on ``put``), and checkpoint restore always deep-copies
+    so a restored store never aliases the snapshot it came from.
     """
 
     def __init__(self, capacity=1024):
@@ -72,6 +81,15 @@ class LRUStore:
         self._data[key] = value
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
+
+    def items(self):
+        """``(key, value)`` pairs, least- to most-recently used.
+
+        Pure iteration: recency is *not* updated (unlike :meth:`get`), so
+        a snapshot taken through this method leaves the eviction order
+        untouched and replaying ``put`` in yielded order reproduces it.
+        """
+        return iter(list(self._data.items()))
 
     def evict(self, predicate):
         """Drop every entry whose key satisfies ``predicate``; returns count."""

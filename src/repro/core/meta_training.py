@@ -21,7 +21,7 @@ labels instead of a simulated support set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -93,6 +93,26 @@ class AdaptedClassifier:
 
     def predict(self, tuple_vectors, threshold=0.5):
         return (self.predict_proba(tuple_vectors) >= threshold).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Checkpointable state: model config + weights, v_R, M_cp."""
+        return {
+            "config": dict(self.model.config),
+            "model": self.model.state_dict(),
+            "feature_vector": self.feature_vector.copy(),
+            "conversion": None if self.conversion is None
+            else self.conversion.data.copy(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state):
+        """Rebuild an adapted classifier from :meth:`state_dict` output."""
+        model = UISClassifier.from_config(state["config"])
+        model.load_state_dict(state["model"])
+        conversion = None if state["conversion"] is None \
+            else Parameter(state["conversion"])
+        return cls(model, state["feature_vector"], conversion)
 
 
 class MetaTrainer:
@@ -309,6 +329,66 @@ class MetaTrainer:
         self.memories.update_conversion_memory(attention,
                                                adapted.conversion.data,
                                                params.gamma)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (the "meta-learner artifact": phi + the memories)
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Checkpointable state of the trained meta-learner.
+
+        Captures the hyper-parameters, the meta-learned initialization
+        phi (model config + weights), the two memories and the training
+        history — everything needed to serve online adaptation from a
+        fresh process, but none of the offline task data.
+        """
+        return {
+            "params": asdict(self.params),
+            "use_memories": self.use_memories,
+            "seed": self.seed,
+            "config": dict(self.model.config),
+            "model": self.model.state_dict(),
+            "memories": None if self.memories is None
+            else self.memories.state_dict(),
+            "history": [float(x) for x in self.history],
+        }
+
+    def load_state_dict(self, state):
+        """Restore :meth:`state_dict` output into this trainer in place."""
+        if bool(state["use_memories"]) != self.use_memories:
+            raise ValueError(
+                "state has use_memories={} but trainer was built with {}"
+                .format(state["use_memories"], self.use_memories))
+        self.params = MetaHyperParams(**state["params"])
+        self.seed = state["seed"]
+        self.model.load_state_dict(state["model"])
+        if self.memories is not None:
+            self.memories.load_state_dict(state["memories"])
+        self.history = [float(x) for x in state["history"]]
+
+    @classmethod
+    def from_state_dict(cls, state):
+        """Rebuild a trained meta-learner from :meth:`state_dict` output."""
+        config = state["config"]
+        trainer = cls(ku=config["ku"], input_width=config["input_width"],
+                      embed_size=config["embed_size"],
+                      hidden_size=config["hidden_size"],
+                      params=MetaHyperParams(**state["params"]),
+                      use_memories=bool(state["use_memories"]),
+                      seed=state["seed"])
+        trainer.load_state_dict(state)
+        return trainer
+
+    def save(self, path, meta=None):
+        """Write this meta-learner as a checkpoint directory at ``path``."""
+        from ..persist.checkpoint import save_checkpoint
+        save_checkpoint(path, "meta-trainer", self.state_dict(), meta=meta)
+
+    @classmethod
+    def load(cls, path):
+        """Load a meta-learner checkpoint written by :meth:`save`."""
+        from ..persist.checkpoint import load_checkpoint
+        state, _ = load_checkpoint(path, expected_kind="meta-trainer")
+        return cls.from_state_dict(state)
 
     # ------------------------------------------------------------------
     def evaluate(self, tasks, encode, local_steps=None):

@@ -23,7 +23,49 @@ import numpy as np
 from ..geometry.convex_hull import Hull
 from ..geometry.regions import UnionRegion
 
-__all__ = ["FewShotOptimizer"]
+__all__ = ["FewShotOptimizer", "HullRegistry"]
+
+
+class HullRegistry:
+    """Identity-dedup table of :class:`Hull` objects for checkpointing.
+
+    Optimizers built through :meth:`FewShotOptimizer.fit_batch` *share*
+    hull objects, and :meth:`FewShotOptimizer.refine_batch` memoizes
+    membership tests by hull identity.  Serializing each optimizer on its
+    own would lose that sharing (and re-inflate both disk size and the
+    restored serving cost), so checkpoints route every hull through one
+    registry: each distinct hull is stored once and every region refers
+    to it by index.  :meth:`restore` rebuilds the shared objects, so a
+    restored :class:`~repro.serve.SessionManager` keeps the O(anchors)
+    memoization profile of the original.
+    """
+
+    def __init__(self, hulls=None):
+        self.hulls = list(hulls or [])
+        self._index = {id(h): i for i, h in enumerate(self.hulls)}
+
+    def add(self, hull):
+        """Intern ``hull`` and return its registry index."""
+        idx = self._index.get(id(hull))
+        if idx is None:
+            idx = len(self.hulls)
+            self._index[id(hull)] = idx
+            self.hulls.append(hull)
+        return idx
+
+    def state(self):
+        """Checkpointable list of hull point sets, in registry order."""
+        return [hull.points.copy() for hull in self.hulls]
+
+    @classmethod
+    def restore(cls, points_list):
+        """Rebuild the shared hull objects from :meth:`state` output.
+
+        Hull construction is deterministic in the point set, so restored
+        hulls answer ``contains`` bit-identically to the originals.
+        """
+        return cls([Hull(np.asarray(points, dtype=np.float64))
+                    for points in points_list])
 
 
 class FewShotOptimizer:
@@ -137,6 +179,73 @@ class FewShotOptimizer:
                           .fit(center_bits, proximity_order=order,
                                hull_cache=hull_caches[id(summary)]))
         return fitted
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self, hull_registry=None):
+        """Checkpointable state: expansion sizes + region hull indices.
+
+        Parameters
+        ----------
+        hull_registry:
+            Optional shared :class:`HullRegistry`.  When given, hulls are
+            interned there (callers snapshotting many optimizers persist
+            the registry once and sharing survives the round trip) and
+            the returned state holds only indices; when omitted, a
+            private registry is used and its hull points are embedded
+            under ``"hulls"`` so the state is self-contained.
+        """
+        registry = hull_registry if hull_registry is not None \
+            else HullRegistry()
+
+        def region_state(region):
+            if region is None:
+                return None
+            return [registry.add(hull) for hull in region.hulls]
+
+        state = {
+            "n_sup": int(self.n_sup),
+            "n_sub": int(self.n_sub),
+            "outer": region_state(self.outer_region),
+            "inner": region_state(self.inner_region),
+        }
+        if hull_registry is None:
+            state["hulls"] = registry.state()
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state, summary, hulls=None):
+        """Rebuild a fitted optimizer from :meth:`state_dict` output.
+
+        Parameters
+        ----------
+        state:
+            The captured state.
+        summary:
+            The subspace's :class:`~repro.core.meta_task.ClusterSummary`
+            (geometry is *not* serialized with the optimizer — it belongs
+            to the offline artifacts the optimizer was built over).
+        hulls:
+            The restored shared hull list (``HullRegistry.restore(...)
+            .hulls``) when the state was captured against a shared
+            registry; ``None`` for self-contained states.
+        """
+        if hulls is None:
+            hulls = HullRegistry.restore(state["hulls"]).hulls
+        optimizer = cls.__new__(cls)
+        optimizer.summary = summary
+        optimizer.n_sup = int(state["n_sup"])
+        optimizer.n_sub = int(state["n_sub"])
+
+        def rebuild(indices):
+            if indices is None:
+                return None
+            return UnionRegion([hulls[int(i)] for i in indices])
+
+        optimizer.outer_region = rebuild(state["outer"])
+        optimizer.inner_region = rebuild(state["inner"])
+        return optimizer
 
     # ------------------------------------------------------------------
     @staticmethod

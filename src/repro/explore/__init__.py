@@ -5,13 +5,13 @@ from .metrics import (accuracy_score, classification_report, confusion_counts,
 from .oracle import ConjunctiveOracle, RegionOracle
 from .query_synthesis import SynthesizedQuery, synthesize_query
 from .session import (ExplorationResult, run_concurrent_explorations,
-                      run_lte_exploration)
+                      run_lte_exploration, score_session)
 
 __all__ = [
     "f1_score", "precision_score", "recall_score", "accuracy_score",
     "confusion_counts", "classification_report",
     "RegionOracle", "ConjunctiveOracle",
-    "run_lte_exploration", "run_concurrent_explorations",
+    "run_lte_exploration", "run_concurrent_explorations", "score_session",
     "ExplorationResult",
     "synthesize_query", "SynthesizedQuery",
 ]

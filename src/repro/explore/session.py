@@ -12,7 +12,7 @@ from .metrics import f1_score
 from .oracle import ConjunctiveOracle
 
 __all__ = ["run_lte_exploration", "run_concurrent_explorations",
-           "ExplorationResult"]
+           "score_session", "ExplorationResult"]
 
 
 class ExplorationResult:
@@ -72,6 +72,55 @@ def run_lte_exploration(lte, oracle, eval_rows, variant="meta_star",
         session.submit_labels(subspace, oracle.label_subspace(subspace,
                                                               tuples))
     labels_used = oracle.labels_given - before
+    predictions = session.predict(eval_rows)
+    truth = oracle.ground_truth(eval_rows)
+    return ExplorationResult(
+        f1=f1_score(truth, predictions),
+        labels_used=labels_used,
+        adapt_seconds=session.adapt_seconds,
+        predictions=predictions,
+        ground_truth=truth,
+    )
+
+
+def score_session(session, oracle, eval_rows):
+    """Score an existing session like :func:`run_lte_exploration` would.
+
+    The missing half of resumable exploration: a session restored from a
+    checkpoint (:func:`repro.persist.load_session`) carries its adapted
+    models and labels but no live oracle counter, so ``labels_used`` is
+    recomputed from the labels the session has actually accumulated
+    (initial + iterative rounds).  Works identically on a live session —
+    for an uninterrupted run the result matches
+    :func:`run_lte_exploration` exactly.
+
+    Parameters
+    ----------
+    session:
+        An adapted :class:`~repro.core.ExplorationSession` (every
+        subspace must have its labels submitted).
+    oracle:
+        The :class:`~repro.explore.oracle.ConjunctiveOracle` holding the
+        session's ground truth.
+    eval_rows:
+        Full-space rows on which F1 is measured.
+
+    Returns
+    -------
+    :class:`ExplorationResult`
+    """
+    if not isinstance(oracle, ConjunctiveOracle):
+        raise TypeError("score_session needs a ConjunctiveOracle")
+    eval_rows = np.atleast_2d(np.asarray(eval_rows, dtype=np.float64))
+    labels_used = 0
+    for subsession in session._subsessions.values():
+        if subsession.labels is None:
+            raise RuntimeError(
+                "labels not yet submitted for subspace {}".format(
+                    subsession.state.subspace))
+        labels_used += int(subsession.labels.size)
+        if subsession.extra_y is not None:
+            labels_used += int(subsession.extra_y.size)
     predictions = session.predict(eval_rows)
     truth = oracle.ground_truth(eval_rows)
     return ExplorationResult(

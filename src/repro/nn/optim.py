@@ -30,6 +30,35 @@ class Optimizer:
     def step(self):
         raise NotImplementedError
 
+    # -- state dict protocol ---------------------------------------------
+    def state_dict(self):
+        """Checkpointable optimizer state (hyper-params + buffers).
+
+        Parameter *values* are not included — they belong to the module's
+        own ``state_dict``; this captures everything else needed so that
+        ``load_state_dict`` followed by further ``step`` calls is
+        bit-identical to never having serialized at all.
+        """
+        return {"kind": type(self).__name__.lower(), "lr": float(self.lr)}
+
+    def load_state_dict(self, state):
+        """Restore buffers written by :meth:`state_dict` (in place)."""
+        if state.get("kind") != type(self).__name__.lower():
+            raise ValueError("optimizer state is for {!r}, not {!r}".format(
+                state.get("kind"), type(self).__name__.lower()))
+        self.lr = float(state["lr"])
+
+    def _check_buffers(self, buffers, name):
+        if len(buffers) != len(self.params):
+            raise ValueError(
+                "optimizer state has {} {} buffers for {} parameters"
+                .format(len(buffers), name, len(self.params)))
+        for buffer, param in zip(buffers, self.params):
+            if np.shape(buffer) != param.data.shape:
+                raise ValueError(
+                    "{} buffer shape {} does not match parameter shape {}"
+                    .format(name, np.shape(buffer), param.data.shape))
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -40,6 +69,19 @@ class SGD(Optimizer):
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["momentum"] = float(self.momentum)
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self._check_buffers(state["velocity"], "velocity")
+        self.momentum = float(state["momentum"])
+        self._velocity = [np.asarray(v, dtype=np.float64).copy()
+                         for v in state["velocity"]]
 
     def step(self):
         for param, velocity in zip(self.params, self._velocity):
@@ -64,6 +106,29 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self):
+        state = super().state_dict()
+        state.update({
+            "beta1": float(self.beta1), "beta2": float(self.beta2),
+            "eps": float(self.eps), "step": int(self._step),
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        })
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self._check_buffers(state["m"], "first-moment")
+        self._check_buffers(state["v"], "second-moment")
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self._step = int(state["step"])
+        self._m = [np.asarray(m, dtype=np.float64).copy()
+                   for m in state["m"]]
+        self._v = [np.asarray(v, dtype=np.float64).copy()
+                   for v in state["v"]]
 
     def step(self):
         self._step += 1

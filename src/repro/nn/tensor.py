@@ -460,3 +460,12 @@ class Parameter(Tensor):
                 array.shape, self.data.shape))
         self.data = array.astype(np.float64).copy()
         return self
+
+    # -- state dict protocol (mirrors Module, for standalone parameters) --
+    def state_dict(self):
+        """Deep copy of the parameter value (checkpointable leaf)."""
+        return self.data.copy()
+
+    def load_state_dict(self, state):
+        """Inverse of :meth:`state_dict`; in-place, keeps identity."""
+        return self.copy_(state)

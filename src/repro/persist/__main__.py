@@ -1,0 +1,8 @@
+"""``python -m repro.persist`` — see :mod:`repro.persist.cli`."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

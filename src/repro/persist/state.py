@@ -1,0 +1,216 @@
+"""Save/load wrappers binding checkpoints to the stateful layers.
+
+Four artifact kinds cover the system's stateful layers:
+
+======================  ==============================================
+kind                    contents
+======================  ==============================================
+``lte-pretrained``      per-subspace meta-learners (phi + memories) of
+                        a fitted :class:`~repro.core.LTE` — the
+                        shippable pretrained artifact
+``meta-trainer``        one subspace's meta-learner on its own
+``exploration-session`` the online state of one (resumable) session
+``session-manager``     a full :class:`~repro.serve.SessionManager`
+                        snapshot: sessions, pending queue, prediction
+                        cache, counters
+======================  ==============================================
+
+The offline *derived* artifacts (scalers, preprocessors, cluster
+summaries) are deterministic functions of the table and the config seed,
+so ``lte-pretrained`` stores only the expensive learned state: restore by
+re-running ``fit_offline(..., train=False)`` (cheap) and then
+:func:`load_pretrained` (instant), as ``benchmarks/
+bench_serving_throughput.py`` does for its warm starts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..core.framework import ExplorationSession
+from ..core.meta_training import MetaTrainer
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+
+__all__ = ["save_pretrained", "load_pretrained", "save_session",
+           "load_session", "save_manager", "load_manager"]
+
+
+def _config_fingerprint(lte):
+    cfg = lte.config
+    return {"ku": int(cfg.ku), "embed_size": int(cfg.embed_size),
+            "hidden_size": int(cfg.hidden_size),
+            "subspace_dim": int(cfg.subspace_dim), "seed": int(cfg.seed)}
+
+
+def _lte_identity(lte):
+    """Fingerprint of the LTE system a checkpoint was captured over.
+
+    Online state only makes sense against the exact offline artifacts it
+    was built with, and those are a deterministic function of (table,
+    config); restores compare this identity and refuse mismatches
+    loudly instead of pairing restored models with foreign scalers,
+    encoders or cluster summaries.
+    """
+    data = np.ascontiguousarray(np.asarray(lte.table.data,
+                                           dtype=np.float64))
+    h = hashlib.blake2b(data.tobytes(), digest_size=16)
+    h.update(str(data.shape).encode())
+    return {"config": _config_fingerprint(lte),
+            "table_shape": list(data.shape),
+            "table_digest": h.hexdigest()}
+
+
+def _require(state, key, path):
+    try:
+        return state[key]
+    except (KeyError, TypeError):
+        raise CheckpointError(
+            "checkpoint at {!r} lacks the expected field {!r}; it was "
+            "written by an incompatible build — re-save the state with "
+            "this build".format(path, key))
+
+
+def _check_identity(path, saved, lte, what):
+    current = _lte_identity(lte)
+    if saved != current:
+        raise CheckpointError(
+            "{} at {!r} was captured over an LTE system pretrained under "
+            "config {} (table {} digest {}) but the target system has "
+            "config {} (table {} digest {}); restoring across different "
+            "systems would silently mis-predict — prepare the target "
+            "from the same table and config".format(
+                what, path, saved["config"], saved["table_shape"],
+                saved["table_digest"], current["config"],
+                current["table_shape"], current["table_digest"]))
+
+
+# ----------------------------------------------------------------------
+# Pretrained LTE artifacts
+# ----------------------------------------------------------------------
+def save_pretrained(path, lte, meta=None):
+    """Checkpoint the pretrained meta-learners of a fitted LTE system.
+
+    Subspaces that were prepared but never meta-trained are recorded as
+    such and restore as untrained.  Returns the manifest dict.
+    """
+    state = {
+        "identity": _lte_identity(lte),
+        "subspaces": [
+            {"names": list(subspace.names),
+             "trainer": None if lte_state.trainer is None
+             else lte_state.trainer.state_dict()}
+            for subspace, lte_state in lte.states.items()
+        ],
+    }
+    return save_checkpoint(path, "lte-pretrained", state, meta=meta)
+
+
+def load_pretrained(path, lte):
+    """Install pretrained meta-learners into a prepared LTE system.
+
+    ``lte`` must have run ``fit_offline`` (``train=False`` suffices) over
+    the same table, config and subspace decomposition; the checkpoint
+    supplies the expensive learned state and this function wires it into
+    the prepared offline artifacts.  Mismatched decompositions or
+    preprocessor widths raise :class:`CheckpointError` instead of
+    installing a meta-learner that would silently mis-predict.
+    """
+    state, info = load_checkpoint(path, expected_kind="lte-pretrained")
+    if not lte.states:
+        raise CheckpointError(
+            "the target LTE system is not prepared; run "
+            "fit_offline(table, train=False) before load_pretrained")
+    _check_identity(path, _require(state, "identity", path), lte,
+                    "pretrained checkpoint")
+    by_key = {s.key: s for s in lte.states}
+    saved_keys = {tuple(sorted(entry["names"]))
+                  for entry in _require(state, "subspaces", path)}
+    if saved_keys != set(by_key):
+        raise CheckpointError(
+            "checkpoint at {!r} covers subspaces {} but the target LTE "
+            "system has {}; re-prepare the system with the same "
+            "decomposition (same table, subspace_dim and seed)".format(
+                path, sorted(saved_keys), sorted(by_key)))
+    for entry in _require(state, "subspaces", path):
+        subspace = by_key[tuple(sorted(entry["names"]))]
+        lte_state = lte.states[subspace]
+        if entry["trainer"] is None:
+            lte_state.trainer = None
+            continue
+        trainer = MetaTrainer.from_state_dict(entry["trainer"])
+        width = lte_state.preprocessor.width
+        if trainer.model.input_width != width:
+            raise CheckpointError(
+                "pretrained meta-learner for subspace {} expects "
+                "input width {} but the prepared preprocessor produces "
+                "{}; the checkpoint was trained over different offline "
+                "artifacts".format(tuple(subspace.names),
+                                   trainer.model.input_width, width))
+        lte_state.trainer = trainer
+    return info
+
+
+# ----------------------------------------------------------------------
+# Resumable exploration sessions
+# ----------------------------------------------------------------------
+def save_session(path, session, meta=None):
+    """Checkpoint one :class:`~repro.core.ExplorationSession`."""
+    state = {"identity": _lte_identity(session.lte),
+             "session": session.state_dict()}
+    return save_checkpoint(path, "exploration-session", state, meta=meta)
+
+
+def load_session(path, lte):
+    """Resume a session checkpoint against a (restored) LTE system.
+
+    ``lte`` must be the system the session was captured over (or a
+    bit-identical restore of it); mismatched systems raise
+    :class:`CheckpointError` instead of silently mis-predicting.
+    """
+    state, _ = load_checkpoint(path, expected_kind="exploration-session")
+    _check_identity(path, _require(state, "identity", path), lte,
+                    "session checkpoint")
+    try:
+        return ExplorationSession.from_state_dict(
+            lte, _require(state, "session", path))
+    except KeyError as error:
+        raise CheckpointError(
+            "session checkpoint at {!r} does not fit the target LTE "
+            "system: {}".format(path, error.args[0] if error.args
+                                else error))
+
+
+# ----------------------------------------------------------------------
+# Serving-engine snapshots
+# ----------------------------------------------------------------------
+def save_manager(path, manager, meta=None):
+    """Checkpoint a full :class:`~repro.serve.SessionManager` snapshot."""
+    state = {"identity": _lte_identity(manager.lte),
+             "snapshot": manager.snapshot()}
+    return save_checkpoint(path, "session-manager", state, meta=meta)
+
+
+def load_manager(path, lte):
+    """Restore a serving engine snapshot against a (restored) LTE system.
+
+    The returned manager serves bit-identical predictions — including
+    cache hits, model versions and queued-but-unflushed label batches —
+    to the manager that was snapshotted.  ``lte`` must be the system the
+    snapshot was taken over (or a bit-identical restore of it, e.g. via
+    :func:`load_pretrained`); a different table or config raises
+    :class:`CheckpointError` instead of silently serving garbage.
+    """
+    from ..serve.manager import SessionManager
+
+    state, _ = load_checkpoint(path, expected_kind="session-manager")
+    _check_identity(path, _require(state, "identity", path), lte,
+                    "serving snapshot")
+    try:
+        return SessionManager.restore(lte, _require(state, "snapshot", path))
+    except KeyError as error:
+        raise CheckpointError(
+            "serving snapshot at {!r} does not fit the target LTE "
+            "system: {}".format(path, error.args[0] if error.args
+                                else error))

@@ -39,7 +39,13 @@ Modules
     vectorized adaptation hot path.
 ``cache``
     :class:`PredictionCache` — (session, subspace, model-version)-keyed
-    LRU memoization of prediction vectors.
+    LRU memoization of prediction vectors (frozen copies: a cached
+    prediction can never be poisoned through a returned reference).
+
+The engine survives restarts: :meth:`SessionManager.snapshot` /
+:meth:`SessionManager.restore` capture sessions, the pending queue and
+the prediction cache, and :mod:`repro.persist` writes them to disk — a
+restored manager serves bit-identically (``tests/persist``).
 """
 
 from .batched import BatchedUISClassifier, run_adapt_requests

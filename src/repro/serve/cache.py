@@ -31,15 +31,22 @@ def rows_digest(rows):
 class PredictionCache:
     """LRU cache of per-subspace prediction vectors, versioned per model.
 
-    Thread-compatible value semantics: stored arrays are returned as-is,
-    so callers must not mutate them (the manager copies on the way out of
-    its public API where mutation is plausible).
+    Value semantics: :meth:`put` stores a private *read-only* copy of the
+    array and :meth:`get` returns that frozen copy directly.  Callers may
+    hold and read cached vectors indefinitely but cannot mutate them —
+    an in-place write raises instead of silently poisoning every later
+    cache hit (the manager still copies on the way out of public APIs
+    where callers legitimately expect a writable array).
     """
 
     def __init__(self, capacity=1024):
         self._store = LRUStore(capacity)
         self.hits = 0
         self.misses = 0
+
+    @property
+    def capacity(self):
+        return self._store.capacity
 
     @staticmethod
     def key(session_id, subspace, model_version, digest):
@@ -60,7 +67,9 @@ class PredictionCache:
         return value
 
     def put(self, key, value):
-        self._store.put(key, value)
+        frozen = np.array(value, copy=True)
+        frozen.flags.writeable = False
+        self._store.put(key, frozen)
 
     def invalidate_session(self, session_id):
         """Drop every entry belonging to one session (e.g. on close)."""
@@ -73,3 +82,36 @@ class PredictionCache:
     def stats(self):
         return {"entries": len(self._store), "hits": self.hits,
                 "misses": self.misses}
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Checkpointable state: counters + entries in LRU order.
+
+        Entries are captured least- to most-recently used, so replaying
+        them through :meth:`load_state_dict` reproduces the eviction
+        order exactly; values are deep-copied on restore, so a restored
+        cache never aliases the snapshot.
+        """
+        return {
+            "capacity": int(self.capacity),
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "entries": [
+                {"session": key[0], "subspace": list(key[1]),
+                 "version": int(key[2]), "digest": key[3],
+                 "value": np.asarray(value).copy()}
+                for key, value in self._store.items()
+            ],
+        }
+
+    def load_state_dict(self, state):
+        """Restore :meth:`state_dict` output into this cache in place."""
+        self._store = LRUStore(int(state["capacity"]))
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+        for entry in state["entries"]:
+            key = (entry["session"], tuple(entry["subspace"]),
+                   int(entry["version"]), entry["digest"])
+            self.put(key, entry["value"])

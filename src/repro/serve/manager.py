@@ -26,9 +26,9 @@ from collections import deque
 
 import numpy as np
 
-from ..core.framework import LTE
+from ..core.framework import ExplorationSession, LTE
 from ..core.memory import LRUStore
-from ..core.optimizer import FewShotOptimizer
+from ..core.optimizer import FewShotOptimizer, HullRegistry
 from .batched import predict_adapted_batch, run_adapt_requests
 from .cache import PredictionCache, rows_digest
 
@@ -382,6 +382,99 @@ class SessionManager:
         if limit is not None:
             result = result[:int(limit)]
         return result
+
+    # ------------------------------------------------------------------
+    # Checkpointing: snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Checkpointable state of the whole serving engine.
+
+        Captures every session's online state (adapted models, few-shot
+        regions, model versions), the *pending* submit queue exactly as
+        it stands (nothing is flushed — a snapshot is a point-in-time
+        copy, not a barrier), the versioned prediction cache with its
+        hit/miss counters, and the serving counters.  Hull objects shared
+        across sessions are interned once through a
+        :class:`~repro.core.optimizer.HullRegistry`, so the sharing that
+        makes :meth:`FewShotOptimizer.refine_batch` cheap survives the
+        round trip.
+
+        The shared pretrained LTE system is *not* included: it is the
+        long-lived artifact the manager serves, persisted separately
+        (see :func:`repro.persist.save_pretrained`).  Restore with
+        :meth:`restore` against an equivalent LTE; a restored manager
+        serves bit-identical predictions without re-adaptation.  Every
+        array is deep-copied, so later mutation of the live manager
+        cannot leak into the snapshot.
+        """
+        with self._lock:
+            registry = HullRegistry()
+            sessions = [
+                {"id": sid, "state": session.state_dict(registry)}
+                for sid, session in self._sessions.items()
+            ]
+            queue = [
+                {"session_id": p.session_id,
+                 "subspace": list(p.subspace.names),
+                 "labels": np.asarray(p.labels).copy(),
+                 "tuples": None if p.tuples is None
+                 else np.asarray(p.tuples).copy()}
+                for p in self._queue
+            ]
+            return {
+                "next_id": int(self._next_id),
+                "adapt_batches": int(self.adapt_batches),
+                "adapted_total": int(self.adapted_total),
+                "sessions": sessions,
+                "queue": queue,
+                "cache": self.cache.state_dict(),
+                "hulls": registry.state(),
+            }
+
+    @classmethod
+    def restore(cls, lte, snapshot):
+        """Rebuild a serving engine from :meth:`snapshot` output.
+
+        ``lte`` must be the same pretrained system the snapshot was taken
+        over (or a bit-identical restore of it — e.g. via
+        :func:`repro.persist.load_pretrained`); sessions, the pending
+        queue, model versions and the prediction cache come back exactly,
+        including session ids and cache hit counters, so serving
+        continues as if the process had never died.
+        """
+        manager = cls(lte, cache_entries=snapshot["cache"]["capacity"])
+        hulls = HullRegistry.restore(snapshot["hulls"]).hulls
+        for entry in snapshot["sessions"]:
+            manager._sessions[int(entry["id"])] = \
+                ExplorationSession.from_state_dict(lte, entry["state"],
+                                                   hulls=hulls)
+        manager._next_id = int(snapshot["next_id"])
+        manager.adapt_batches = int(snapshot["adapt_batches"])
+        manager.adapted_total = int(snapshot["adapted_total"])
+        lookups = {}
+        for item in snapshot["queue"]:
+            session_id = int(item["session_id"])
+            if session_id not in manager._sessions:
+                raise KeyError(
+                    "queued work references unknown session id {}"
+                    .format(session_id))
+            by_key = lookups.get(session_id)
+            if by_key is None:
+                by_key = lookups[session_id] = {
+                    s.key: s
+                    for s in manager._sessions[session_id]._subsessions}
+            key = tuple(sorted(item["subspace"]))
+            if key not in by_key:
+                raise KeyError(
+                    "queued work references subspace {} absent from its "
+                    "session".format(tuple(item["subspace"])))
+            tuples = None if item["tuples"] is None \
+                else np.asarray(item["tuples"], dtype=np.float64)
+            labels = np.asarray(item["labels"]).astype(np.int64)
+            manager._queue.append(
+                _Pending(session_id, by_key[key], labels, tuples))
+        manager.cache.load_state_dict(snapshot["cache"])
+        return manager
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,56 @@
+"""Shared fixtures for the persist tests: one tiny trained LTE system."""
+
+import pytest
+
+from repro.core import LTE, LTEConfig
+from repro.core.meta_training import MetaHyperParams
+from repro.core.uis import UISMode
+from repro.data import make_car
+from repro.data.subspaces import random_decomposition
+
+
+@pytest.fixture(scope="session")
+def persist_config():
+    return LTEConfig(budget=20, ku=20, kq=25, n_tasks=5,
+                     meta=MetaHyperParams(epochs=1, local_steps=2,
+                                          batch_size=3, pretrain_epochs=1),
+                     basic_steps=10, online_steps=3)
+
+
+@pytest.fixture(scope="session")
+def persist_table():
+    return make_car(n_rows=1500, seed=41)
+
+
+@pytest.fixture(scope="session")
+def persist_subspaces(persist_table, persist_config):
+    return random_decomposition(persist_table,
+                                dim=persist_config.subspace_dim,
+                                seed=persist_config.seed)[:2]
+
+
+@pytest.fixture(scope="session")
+def persist_lte(persist_table, persist_config, persist_subspaces):
+    lte = LTE(persist_config)
+    lte.fit_offline(persist_table, subspaces=persist_subspaces)
+    return lte
+
+
+@pytest.fixture(scope="session")
+def make_oracle(persist_lte, persist_subspaces):
+    """Factory: a distinct conjunctive ground-truth oracle per seed."""
+    from repro.bench import subspace_region
+    from repro.explore import ConjunctiveOracle
+
+    def factory(seed):
+        return ConjunctiveOracle({
+            s: subspace_region(persist_lte.states[s], UISMode(1, 8),
+                               seed=seed + i)
+            for i, s in enumerate(persist_subspaces)})
+
+    return factory
+
+
+@pytest.fixture()
+def eval_rows(persist_lte):
+    return persist_lte.table.sample_rows(200, seed=5)

@@ -1,0 +1,165 @@
+"""Mid-run interruption parity: restore-and-continue == never interrupted.
+
+The acceptance property of the persist subsystem: a
+:class:`~repro.serve.SessionManager` snapshotted mid-workload — adapted
+sessions, a *pending* (unflushed) label batch, a warm prediction cache —
+and restored through an actual disk round trip must serve bit-identical
+predictions AND preserve cache hit counts versus the manager that was
+never interrupted, for all three variants.
+"""
+
+import numpy as np
+import pytest
+
+from repro import persist
+from repro.explore import score_session
+from repro.serve import SessionManager
+
+
+def _label_initial(manager, sid, oracle):
+    for subspace, tuples in manager.initial_tuples(sid).items():
+        manager.submit_labels(sid, subspace,
+                              oracle.label_subspace(subspace, tuples))
+
+
+def _extra_round(manager, sid, subspace, oracle, lte, n=4):
+    state = lte.states[subspace]
+    tuples = state.to_raw(state.data[10:10 + n])
+    manager.add_labels(sid, subspace, tuples,
+                       oracle.label_subspace(subspace, tuples))
+
+
+def _continue_workload(manager, sids, subspace, oracles, lte, eval_rows,
+                       fresh_rows):
+    """The post-snapshot half of the workload; returns every observable."""
+    out = {}
+    # Warm-cache retrieval first: must hit the restored cache.
+    out["cached"] = {sid: manager.predict(sid, eval_rows) for sid in sids}
+    # Re-adaptation round for session 0 (drains the snapshotted pending
+    # batch too), then fresh predictions under the bumped model version.
+    _extra_round(manager, sids[0], subspace, oracles[0], lte)
+    out["polls"] = {sid: manager.poll(sid) for sid in sids}
+    out["readapted"] = {sid: manager.predict(sid, eval_rows)
+                        for sid in sids}
+    out["fresh"] = {sid: manager.predict(sid, fresh_rows) for sid in sids}
+    out["stats"] = manager.stats
+    return out
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("variant", ["basic", "meta", "meta_star"])
+def test_snapshot_restore_parity(tmp_path, persist_lte, persist_subspaces,
+                                 make_oracle, eval_rows, variant):
+    lte = persist_lte
+    oracles = [make_oracle(100), make_oracle(200)]
+    fresh_rows = lte.table.sample_rows(150, seed=77)
+    subspace = persist_subspaces[0]
+
+    def build_to_snapshot_point():
+        """N submit/flush cycles + a pending batch left in the queue."""
+        manager = SessionManager(lte)
+        sids = [manager.open_session(variant=variant,
+                                     subspaces=persist_subspaces,
+                                     seed=10 + k) for k in range(2)]
+        for sid, oracle in zip(sids, oracles):
+            _label_initial(manager, sid, oracle)
+        manager.flush()
+        for sid in sids:                       # populate the cache
+            manager.predict(sid, eval_rows)
+        manager.predict(sids[0], eval_rows)    # and record a cache hit
+        # Leave session 1's next label round *pending* at snapshot time.
+        state = lte.states[subspace]
+        tuples = state.to_raw(state.data[30:33])
+        manager.add_labels(sids[1], subspace, tuples,
+                           oracles[1].label_subspace(subspace, tuples))
+        return manager, sids
+
+    # Interrupted path: snapshot -> disk -> restore -> continue.
+    manager_a, sids = build_to_snapshot_point()
+    assert manager_a.pending(sids[1])          # snapshot catches real work
+    persist.save_manager(tmp_path / "snap", manager_a,
+                         meta={"variant": variant})
+    restored = persist.load_manager(tmp_path / "snap", lte)
+    assert restored.pending(sids[1]) == manager_a.pending(sids[1])
+    continued = _continue_workload(restored, sids, subspace, oracles, lte,
+                                   eval_rows, fresh_rows)
+
+    # Uninterrupted control: identical workload, no snapshot/restore.
+    manager_b, sids_b = build_to_snapshot_point()
+    assert sids_b == sids                      # deterministic session ids
+    control = _continue_workload(manager_b, sids, subspace, oracles, lte,
+                                 eval_rows, fresh_rows)
+
+    for phase in ("cached", "readapted", "fresh"):
+        for sid in sids:
+            assert np.array_equal(continued[phase][sid],
+                                  control[phase][sid]), (phase, sid)
+    assert continued["polls"] == control["polls"]
+    # Cache hit/miss counters — not just entry counts — are preserved.
+    assert continued["stats"] == control["stats"]
+    assert continued["stats"]["cache"]["hits"] > 0
+
+
+@pytest.mark.parametrize("variant", ["meta", "meta_star"])
+def test_session_checkpoint_resume(tmp_path, persist_lte, persist_subspaces,
+                                   make_oracle, eval_rows, variant):
+    """Sequential sessions are resumable too: save -> load -> continue."""
+    lte = persist_lte
+    oracle = make_oracle(300)
+    session = lte.start_session(variant=variant,
+                                subspaces=persist_subspaces, seed=3)
+    for subspace, tuples in session.initial_tuples().items():
+        session.submit_labels(subspace, oracle.label_subspace(subspace,
+                                                              tuples))
+    persist.save_session(tmp_path / "sess", session)
+    resumed = persist.load_session(tmp_path / "sess", lte)
+
+    assert np.array_equal(session.predict(eval_rows),
+                          resumed.predict(eval_rows))
+    result_live = score_session(session, oracle, eval_rows)
+    result_resumed = score_session(resumed, oracle, eval_rows)
+    assert result_live.f1 == result_resumed.f1
+    assert result_live.labels_used == result_resumed.labels_used
+
+    # Continue with an extra labelled round on both; still bit-identical.
+    subspace = persist_subspaces[0]
+    state = lte.states[subspace]
+    tuples = state.to_raw(state.data[5:9])
+    labels = oracle.label_subspace(subspace, tuples)
+    session.add_labels(subspace, tuples, labels)
+    resumed.add_labels(subspace, tuples, labels)
+    assert np.array_equal(session.predict(eval_rows),
+                          resumed.predict(eval_rows))
+
+
+def test_restore_against_reloaded_pretrained_lte(tmp_path, persist_table,
+                                                 persist_config,
+                                                 persist_subspaces,
+                                                 persist_lte, make_oracle,
+                                                 eval_rows):
+    """The full restart story: pretrained artifact + serving snapshot
+    restored into a *separately prepared* LTE give identical serving."""
+    from repro.core import LTE
+
+    oracle = make_oracle(400)
+    manager = SessionManager(persist_lte)
+    sid = manager.open_session(variant="meta_star",
+                               subspaces=persist_subspaces, seed=4)
+    _label_initial(manager, sid, oracle)
+    manager.flush()
+    expected = manager.predict(sid, eval_rows)
+    persist.save_pretrained(tmp_path / "lte", persist_lte)
+    persist.save_manager(tmp_path / "serving", manager)
+
+    # "New process": prepare offline artifacts cheaply, restore weights.
+    lte2 = LTE(persist_config)
+    lte2.fit_offline(persist_table, subspaces=persist_subspaces,
+                     train=False)
+    persist.load_pretrained(tmp_path / "lte", lte2)
+    manager2 = persist.load_manager(tmp_path / "serving", lte2)
+    assert np.array_equal(manager2.predict(sid, eval_rows), expected)
+    # Rows never predicted before the snapshot force the restored weights
+    # (not just the restored cache) through the full serving path.
+    fresh_rows = persist_lte.table.sample_rows(120, seed=91)
+    assert np.array_equal(manager2.predict(sid, fresh_rows),
+                          manager.predict(sid, fresh_rows))

@@ -6,7 +6,7 @@ import pytest
 
 PACKAGES = ["repro", "repro.nn", "repro.ml", "repro.geometry", "repro.data",
             "repro.core", "repro.baselines", "repro.explore", "repro.bench",
-            "repro.serve"]
+            "repro.serve", "repro.persist"]
 
 
 @pytest.mark.parametrize("name", PACKAGES)
@@ -22,6 +22,35 @@ def test_top_level_exports():
     assert repro.LTE is not None
     assert repro.LTEConfig is not None
     assert isinstance(repro.__version__, str)
+
+
+def test_persist_exports():
+    """The checkpoint subsystem's full public surface is importable."""
+    from repro import persist
+    expected = {"CheckpointError", "SCHEMA_VERSION",
+                "save_checkpoint", "load_checkpoint", "inspect_checkpoint",
+                "save_pretrained", "load_pretrained",
+                "save_session", "load_session",
+                "save_manager", "load_manager"}
+    assert expected == set(persist.__all__)
+    assert issubclass(persist.CheckpointError, RuntimeError)
+    assert isinstance(persist.SCHEMA_VERSION, int)
+    # The state-dict protocol reaches every stateful layer.
+    from repro import nn
+    from repro.core import (ExplorationSession, FewShotOptimizer,
+                            HullRegistry, MetaTrainer)
+    from repro.serve import SessionManager
+    for cls in (nn.Module, nn.Parameter, nn.SGD, nn.Adam, MetaTrainer):
+        assert hasattr(cls, "state_dict")
+        assert hasattr(cls, "load_state_dict")
+    for cls in (FewShotOptimizer, ExplorationSession):
+        assert hasattr(cls, "state_dict")
+        assert hasattr(cls, "from_state_dict")
+    assert hasattr(SessionManager, "snapshot")
+    assert hasattr(SessionManager, "restore")
+    assert hasattr(MetaTrainer, "save")
+    assert hasattr(MetaTrainer, "load")
+    assert hasattr(HullRegistry, "restore")
 
 
 def test_every_public_symbol_has_docstring():
