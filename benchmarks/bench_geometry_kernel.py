@@ -1,0 +1,147 @@
+"""Geometry kernel throughput: packed halfspace engine vs per-hull loop.
+
+The Meta* online budget is spent in geometric refinement — membership of
+(points x hulls) in unions of convex hulls.  This bench builds UIS-style
+hull sets (each hull circumscribes the ``psi`` nearest of ``ku`` random
+cluster centers, exactly the Section V-C construction) and times two
+implementations of the same two queries:
+
+* **union membership** (``UnionRegion.contains``): the historical
+  short-circuit loop over ``Hull.contains`` vs the packed engine;
+* **membership matrix** (``refine_batch``'s shape: every hull's mask):
+  a per-hull loop vs :meth:`PackedHulls.membership`.
+
+Masks must agree bit for bit at every size; the packed path must beat
+the loop by ``REPRO_GEO_MIN_SPEEDUP`` (default 5x) on union membership
+at the largest size — 10k points x 64 hulls at the quick scale.
+
+Set ``REPRO_GEO_BASELINE=/path/to.json`` to record the series (see
+``benchmarks/BENCH_geometry.json`` for the committed baseline).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import print_series
+from repro.geometry import Hull, PackedHulls
+
+N_POINTS = 10_000
+PSI = 12
+KU = 400
+#: (dim, n_hulls) grid; the largest size carries the acceptance bar.
+QUICK_SIZES = ((2, 8), (2, 64), (4, 8), (4, 64))
+FULL_SIZES = QUICK_SIZES + ((4, 256), (6, 64))
+# The acceptance bar is 5x on dedicated hardware; shared CI runners set
+# REPRO_GEO_MIN_SPEEDUP lower so timing noise cannot block merges.
+MIN_SPEEDUP = float(os.environ.get("REPRO_GEO_MIN_SPEEDUP", "5.0"))
+BASELINE = os.environ.get("REPRO_GEO_BASELINE")
+
+
+def build_workload(dim, n_hulls, seed=0):
+    """UIS-style hulls + a query set straddling the unit cube."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(size=(KU, dim))
+    hulls = []
+    for _ in range(n_hulls):
+        anchor = centers[int(rng.integers(KU))]
+        order = np.argsort(np.linalg.norm(centers - anchor, axis=1))
+        hulls.append(Hull(centers[order[:PSI]]))
+    points = rng.uniform(-0.1, 1.1, size=(N_POINTS, dim))
+    return hulls, points
+
+
+def loop_union_contains(hulls, points):
+    """The pre-engine ``UnionRegion.contains`` short-circuit loop."""
+    mask = np.zeros(len(points), dtype=bool)
+    for hull in hulls:
+        remaining = ~mask
+        if not remaining.any():
+            break
+        mask[remaining] = hull.contains(points[remaining])
+    return mask
+
+
+def loop_membership(hulls, points):
+    """Per-hull membership-matrix loop (the refine_batch shape)."""
+    return np.column_stack([hull.contains(points) for hull in hulls])
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.mark.geometry
+@pytest.mark.benchmark(group="geometry")
+def test_geometry_kernel_speedup(benchmark, scale, report):
+    sizes = QUICK_SIZES if scale.name == "quick" else FULL_SIZES
+
+    def run():
+        series = {"union_loop_ms": [], "union_packed_ms": [],
+                  "union_speedup": [], "matrix_loop_ms": [],
+                  "matrix_packed_ms": [], "matrix_speedup": [],
+                  "facets": []}
+        parity = True
+        for dim, n_hulls in sizes:
+            hulls, points = build_workload(dim, n_hulls)
+            pack = PackedHulls(hulls)
+            series["facets"].append(pack.n_facets)
+            loop_s, loop_mask = _best_of(
+                lambda: loop_union_contains(hulls, points))
+            pack_s, pack_mask = _best_of(
+                lambda: pack.contains_any(points))
+            parity &= np.array_equal(loop_mask, pack_mask)
+            series["union_loop_ms"].append(loop_s * 1e3)
+            series["union_packed_ms"].append(pack_s * 1e3)
+            series["union_speedup"].append(loop_s / pack_s)
+            mloop_s, mloop = _best_of(
+                lambda: loop_membership(hulls, points))
+            mpack_s, mpack = _best_of(lambda: pack.membership(points))
+            parity &= np.array_equal(mloop, mpack)
+            series["matrix_loop_ms"].append(mloop_s * 1e3)
+            series["matrix_packed_ms"].append(mpack_s * 1e3)
+            series["matrix_speedup"].append(mloop_s / mpack_s)
+        return series, parity
+
+    (series, parity), = [benchmark.pedantic(run, rounds=1, iterations=1)]
+    labels = ["{}d x {}h".format(d, h) for d, h in sizes]
+    with report():
+        print_series(
+            "Geometry kernel ({} points): union membership ms"
+            .format(N_POINTS), "size", labels,
+            {"loop": series["union_loop_ms"],
+             "packed": series["union_packed_ms"],
+             "speedup": series["union_speedup"]})
+        print_series(
+            "  membership matrix (refine_batch shape) ms", "size", labels,
+            {"loop": series["matrix_loop_ms"],
+             "packed": series["matrix_packed_ms"],
+             "speedup": series["matrix_speedup"]})
+
+    if BASELINE:
+        with open(BASELINE, "w") as fh:
+            json.dump({"n_points": N_POINTS, "psi": PSI, "ku": KU,
+                       "sizes": [list(s) for s in sizes],
+                       "series": series}, fh, indent=2, sort_keys=True)
+
+    # The engine's contract: exact masks, never "close enough".
+    assert parity
+    # Acceptance bar: packed >= MIN_SPEEDUP x loop on union membership
+    # at the largest size (10k x 64 hulls at quick scale).
+    assert series["union_speedup"][-1] >= MIN_SPEEDUP, \
+        "packed union membership at {} was only {:.2f}x the loop " \
+        "(min {})".format(labels[-1], series["union_speedup"][-1],
+                          MIN_SPEEDUP)
+    # The packed path must never lose to the loop at any measured size.
+    assert min(series["union_speedup"]) >= 1.0, \
+        "packed path slower than the loop at size {}".format(
+            labels[int(np.argmin(series["union_speedup"]))])

@@ -790,6 +790,7 @@ class ExplorationSession:
                          replace=False)
         scaled = state.data[idx]
         optimizer = subsession.optimizer
+        # Each subregion's contains runs on its cached compiled pack.
         inner = optimizer.inner_region.contains(scaled) \
             if optimizer.inner_region is not None \
             else np.zeros(len(scaled), dtype=bool)

@@ -171,6 +171,9 @@ class MetaTaskGenerator:
     def generate_task(self):
         """Generate a single :class:`MetaTask`."""
         region, member_mask = self._uis_generator.generate()
+        return self._task_for(region, member_mask)
+
+    def _task_for(self, region, member_mask):
         support_x, support_y = self._labelled_set(self.summary.centers_s,
                                                   region)
         query_x, query_y = self._labelled_set(self.summary.centers_q, region)
@@ -185,7 +188,17 @@ class MetaTaskGenerator:
                         center_member_mask=member_mask)
 
     def generate(self, n_tasks):
-        """Generate the meta-task set T^M (collect ``n_tasks`` tasks)."""
+        """Generate the meta-task set T^M (collect ``n_tasks`` tasks).
+
+        UIS regions are drawn up front and their center-membership masks
+        computed through one packed-engine call
+        (:meth:`~repro.core.uis.UISGenerator.generate_batch`); the
+        simulated-UIS and extra-tuple random streams are independent
+        generators, so the tasks are bit-identical to sequential
+        :meth:`generate_task` calls.
+        """
         if n_tasks < 1:
             raise ValueError("n_tasks must be >= 1")
-        return [self.generate_task() for _ in range(n_tasks)]
+        return [self._task_for(region, member_mask)
+                for region, member_mask
+                in self._uis_generator.generate_batch(n_tasks)]

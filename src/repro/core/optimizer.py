@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..geometry.convex_hull import Hull
+from ..geometry.convex_hull import HalfspaceSystem, Hull
+from ..geometry.engine import PackedHulls, union_masks
 from ..geometry.regions import UnionRegion
 
 __all__ = ["FewShotOptimizer", "HullRegistry"]
@@ -30,14 +31,20 @@ class HullRegistry:
     """Identity-dedup table of :class:`Hull` objects for checkpointing.
 
     Optimizers built through :meth:`FewShotOptimizer.fit_batch` *share*
-    hull objects, and :meth:`FewShotOptimizer.refine_batch` memoizes
+    hull objects, and :meth:`FewShotOptimizer.refine_batch` deduplicates
     membership tests by hull identity.  Serializing each optimizer on its
     own would lose that sharing (and re-inflate both disk size and the
     restored serving cost), so checkpoints route every hull through one
     registry: each distinct hull is stored once and every region refers
     to it by index.  :meth:`restore` rebuilds the shared objects, so a
     restored :class:`~repro.serve.SessionManager` keeps the O(anchors)
-    memoization profile of the original.
+    dedup profile of the original.
+
+    The checkpointed form includes each hull's **packed halfspace
+    lowering** alongside its point set, so restores rebuild hulls via
+    :meth:`~repro.geometry.convex_hull.Hull.from_halfspaces` — no SVD or
+    Qhull run, and the restored facet rows (hence every membership mask)
+    are bit-identical by construction.
     """
 
     def __init__(self, hulls=None):
@@ -53,19 +60,65 @@ class HullRegistry:
             self.hulls.append(hull)
         return idx
 
+    def pack(self):
+        """A :class:`~repro.geometry.engine.PackedHulls` over every
+        registered hull.
+
+        Stateless — packing precompiled lowerings is cheap.  Only
+        meaningful for a *same-dimension* registry (e.g. one scoped to
+        a single subspace's sessions); a checkpoint registry spanning
+        subspaces of different dimensionality raises ``ValueError``,
+        since a query point set has one width.
+        """
+        return PackedHulls(self.hulls)
+
+    def membership(self, points):
+        """``(n, n_hulls)`` membership of ``points`` in every registered
+        hull — all points x all hulls in one engine call.  Same-dim
+        registries only; see :meth:`pack`."""
+        return self.pack().membership(points)
+
     def state(self):
-        """Checkpointable list of hull point sets, in registry order."""
-        return [hull.points.copy() for hull in self.hulls]
+        """Checkpointable per-hull state, in registry order.
+
+        Each entry carries the point set plus the packed facet form
+        (``A``, ``b``, ``tol_scale``, ``tol_fixed``).
+        """
+        out = []
+        for hull in self.hulls:
+            system = hull.halfspaces()
+            out.append({
+                "points": hull.points.copy(),
+                "A": system.A.copy(),
+                "b": system.b.copy(),
+                "tol_scale": system.tol_scale.copy(),
+                "tol_fixed": system.tol_fixed.copy(),
+            })
+        return out
 
     @classmethod
-    def restore(cls, points_list):
+    def restore(cls, entries):
         """Rebuild the shared hull objects from :meth:`state` output.
 
-        Hull construction is deterministic in the point set, so restored
-        hulls answer ``contains`` bit-identically to the originals.
+        New-format entries (dicts with the packed facet arrays) restore
+        without recompiling; legacy entries (bare point arrays from
+        pre-engine checkpoints) fall back to rebuilding the hull, which
+        is deterministic in the point set.
         """
-        return cls([Hull(np.asarray(points, dtype=np.float64))
-                    for points in points_list])
+        hulls = []
+        for entry in entries:
+            if isinstance(entry, dict) and "A" in entry:
+                hulls.append(Hull.from_halfspaces(
+                    np.asarray(entry["points"], dtype=np.float64),
+                    HalfspaceSystem(
+                        np.asarray(entry["A"], dtype=np.float64),
+                        np.asarray(entry["b"], dtype=np.float64),
+                        np.asarray(entry["tol_scale"], dtype=np.float64),
+                        np.asarray(entry["tol_fixed"], dtype=np.float64))))
+            else:
+                points = entry["points"] if isinstance(entry, dict) else entry
+                hulls.append(Hull(np.asarray(points, dtype=np.float64)))
+        return cls(hulls)
 
 
 class FewShotOptimizer:
@@ -92,6 +145,7 @@ class FewShotOptimizer:
         self.n_sub = max(2, int(round(n_sub_ratio * summary.ku)))
         self.outer_region = None
         self.inner_region = None
+        self._pack_cache = None   # compiled-geometry reuse for refine()
 
     # ------------------------------------------------------------------
     def _expanded_region(self, positive_center_indices, n_neighbours,
@@ -143,6 +197,7 @@ class FewShotOptimizer:
             anchors, self.n_sup, proximity_order, hull_cache)
         self.inner_region = self._expanded_region(
             anchors, self.n_sub, proximity_order, hull_cache)
+        self._pack_cache = None   # regions changed; drop compiled packs
         return self
 
     @classmethod
@@ -237,6 +292,7 @@ class FewShotOptimizer:
         optimizer.summary = summary
         optimizer.n_sup = int(state["n_sup"])
         optimizer.n_sub = int(state["n_sub"])
+        optimizer._pack_cache = None
 
         def rebuild(indices):
             if indices is None:
@@ -249,27 +305,35 @@ class FewShotOptimizer:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def refine_batch(optimizers, points, predictions_list):
+    def refine_batch(optimizers, points, predictions_list, pack_cache=None):
         """Refine many sessions' predictions over one shared point set.
 
-        Optimizers built via :meth:`fit_batch` share hull objects, so the
-        expensive per-hull membership tests are memoized by hull identity
-        and computed once per batch instead of once per session.  Entries
-        whose optimizer is None pass through unchanged.  Result i equals
+        All (points x hulls x sessions) membership tests run as **one**
+        packed-engine call: hulls are deduplicated by identity across
+        every optimizer's outer and inner regions (optimizers built via
+        :meth:`fit_batch` share hull objects), stacked into a single
+        halfspace system, and evaluated in one matmul
+        (:func:`~repro.geometry.engine.union_masks`).  Entries whose
+        optimizer is None pass through unchanged.  Result i equals
         ``optimizers[i].refine(points, predictions_list[i])``.
+
+        Parameters
+        ----------
+        pack_cache:
+            Optional :class:`~repro.geometry.engine.HullPackCache`; the
+            compiled pack for this hull set is then reused across calls
+            (the serving layer passes its own, so re-adapted model
+            versions never recompile their geometry).
         """
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
-        memo = {}
-
-        def union_contains(region):
-            mask = np.zeros(len(points), dtype=bool)
-            for hull in region.hulls:
-                member = memo.get(id(hull))
-                if member is None:
-                    member = hull.contains(points)
-                    memo[id(hull)] = member
-                mask |= member
-            return mask
+        active = [o for o in optimizers
+                  if o is not None and (o.outer_region is not None
+                                        or o.inner_region is not None)]
+        hull_lists = []
+        for optimizer in active:
+            for region in (optimizer.outer_region, optimizer.inner_region):
+                hull_lists.append([] if region is None else region.hulls)
+        masks = iter(union_masks(hull_lists, points, pack_cache=pack_cache))
 
         results = []
         for optimizer, predictions in zip(optimizers, predictions_list):
@@ -280,12 +344,16 @@ class FewShotOptimizer:
                 continue
             if len(points) != len(predictions):
                 raise ValueError("points/predictions length mismatch")
+            outer_mask, inner_mask = next(masks), next(masks)
             if optimizer.outer_region is not None:
-                outside = ~union_contains(optimizer.outer_region)
-                predictions[outside & (predictions == 1)] = 0
+                # FP fix: a positive prediction outside the
+                # outer-subregion is beyond any plausible extension of
+                # the labelled interest.
+                predictions[~outer_mask & (predictions == 1)] = 0
             if optimizer.inner_region is not None:
-                inside = union_contains(optimizer.inner_region)
-                predictions[inside & (predictions == 0)] = 1
+                # FN fix: points within the conservative inner-subregion
+                # are inside the real UIS.
+                predictions[inner_mask & (predictions == 0)] = 1
             results.append(predictions)
         return results
 
@@ -293,22 +361,17 @@ class FewShotOptimizer:
         """Apply the FP then FN corrections to raw 0/1 predictions.
 
         ``points`` are raw subspace tuples (n x d); ``predictions`` the
-        classifier's 0/1 output for them.
+        classifier's 0/1 output for them.  Outer and inner regions are
+        tested in one packed-engine call (the single-session case of
+        :meth:`refine_batch`), so the sequential path and the batched
+        serving path execute the identical kernel.
         """
-        predictions = np.asarray(predictions).astype(np.int64).copy()
-        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
-        if len(points) != len(predictions):
+        if len(np.atleast_2d(np.asarray(points))) != \
+                len(np.asarray(predictions).ravel()):
             raise ValueError("points/predictions length mismatch")
-        if self.outer_region is None and self.inner_region is None:
-            return predictions
-        if self.outer_region is not None:
-            # FP fix: a positive prediction outside the outer-subregion is
-            # beyond any plausible extension of the labelled interest.
-            outside = ~self.outer_region.contains(points)
-            predictions[outside & (predictions == 1)] = 0
-        if self.inner_region is not None:
-            # FN fix: points within the conservative inner-subregion are
-            # inside the real UIS.
-            inside = self.inner_region.contains(points)
-            predictions[inside & (predictions == 0)] = 1
-        return predictions
+        if self._pack_cache is None:
+            # Sized for the one hull set this optimizer's regions form.
+            from ..geometry.engine import HullPackCache
+            self._pack_cache = HullPackCache(capacity=2)
+        return self.refine_batch([self], points, [predictions],
+                                 pack_cache=self._pack_cache)[0]

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..geometry.convex_hull import Hull
+from ..geometry.engine import union_masks
 from ..geometry.regions import UnionRegion
 
 __all__ = ["UISMode", "PAPER_MODES", "UISGenerator"]
@@ -76,13 +77,8 @@ class UISGenerator:
         self.rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
-    def generate(self):
-        """One simulated UIS: a :class:`UnionRegion` of alpha convex hulls.
-
-        Returns ``(region, member_mask)`` where ``member_mask`` is the
-        boolean ku-vector of which C_u centers fall inside the region
-        (used to seed UIS feature vectors without re-testing containment).
-        """
+    def _draw_region(self):
+        """Draw one UIS region (advances the RNG; no membership test)."""
         hulls = []
         for _ in range(self.mode.alpha):
             seed_idx = int(self.rng.integers(len(self.centers)))
@@ -91,10 +87,28 @@ class UISGenerator:
             order = np.argsort(self.proximity[seed_idx])
             neighbour_idx = order[:self.mode.psi]
             hulls.append(Hull(self.centers[neighbour_idx]))
-        region = UnionRegion(hulls)
+        return UnionRegion(hulls)
+
+    def generate(self):
+        """One simulated UIS: a :class:`UnionRegion` of alpha convex hulls.
+
+        Returns ``(region, member_mask)`` where ``member_mask`` is the
+        boolean ku-vector of which C_u centers fall inside the region
+        (used to seed UIS feature vectors without re-testing containment).
+        """
+        region = self._draw_region()
         member_mask = region.contains(self.centers)
         return region, member_mask
 
     def generate_batch(self, count):
-        """Generate ``count`` independent UISs."""
-        return [self.generate() for _ in range(count)]
+        """Generate ``count`` independent UISs.
+
+        Draws exactly the random stream :meth:`generate` would, then
+        computes every region's center-membership mask with **one**
+        packed-engine call over all ``count * alpha`` hulls
+        (:func:`~repro.geometry.engine.union_masks`) instead of one
+        region at a time — the meta-task generation hot loop.
+        """
+        regions = [self._draw_region() for _ in range(count)]
+        masks = union_masks([r.hulls for r in regions], self.centers)
+        return list(zip(regions, masks))

@@ -29,16 +29,45 @@ class SynthesizedQuery:
         self.attribute_names = list(attribute_names)
         self.boxes = boxes              # list of (lo, hi) raw-value arrays
         self.fidelity = fidelity        # agreement with the session, [0,1]
+        self._program = None            # lazily compiled packed facet form
 
     # ------------------------------------------------------------------
+    def _compile(self):
+        """Lower the DNF of boxes to one packed halfspace program.
+
+        Each box becomes ``2 d`` zero-tolerance facet rows (``x <= hi``,
+        ``-x <= -lo``); candidate filtering is then a single matmul plus
+        a per-box segment reduction — the same kernel shape as
+        :mod:`repro.geometry.engine` — instead of a Python loop over
+        disjuncts.
+        """
+        if self._program is None:
+            d = len(self.attribute_names)
+            eye = np.eye(d)
+            A = np.vstack([np.vstack([eye, -eye]) for _ in self.boxes]) \
+                if self.boxes else np.zeros((0, d))
+            b = np.concatenate(
+                [np.concatenate([-np.asarray(hi, dtype=np.float64),
+                                 np.asarray(lo, dtype=np.float64)])
+                 for lo, hi in self.boxes]) if self.boxes else np.zeros(0)
+            starts = np.arange(0, 2 * d * len(self.boxes), 2 * d,
+                               dtype=np.intp)
+            self._program = (np.ascontiguousarray(A), b, starts)
+        return self._program
+
     def predicate(self, rows):
         """Evaluate the filter: 0/1 per row (same semantics as the SQL)."""
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
-        result = np.zeros(len(rows), dtype=np.int64)
-        for lo, hi in self.boxes:
-            inside = ((rows >= lo) & (rows <= hi)).all(axis=1)
-            result |= inside.astype(np.int64)
-        return result
+        if not self.boxes or len(rows) == 0:
+            return np.zeros(len(rows), dtype=np.int64)
+        A, b, starts = self._compile()
+        values = rows @ A.T
+        values += b
+        # NaN attribute values must violate (match the interval test's
+        # semantics), hence not-satisfied rather than greater-than.
+        violated = ~(values <= 0.0)
+        inside = ~np.logical_or.reduceat(violated, starts, axis=1)
+        return inside.any(axis=1).astype(np.int64)
 
     def to_sql(self, table_name="data", precision=6):
         """Render as a SQL SELECT with a WHERE clause in DNF."""

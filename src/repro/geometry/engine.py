@@ -1,0 +1,364 @@
+"""Packed halfspace engine: all points x all hulls in one fused kernel.
+
+The online hot path of the Meta* variant is geometric: every prediction
+is demoted/promoted by testing membership in unions of convex hulls
+(paper Sections V-C and VII-B).  Looping ``Hull.contains`` one hull at a
+time evaluates every facet of every hull against every point — almost
+all of it wasted, because a typical UIS hull occupies a small fraction
+of the subspace.  This module stacks every hull's canonical lowering
+(:meth:`~repro.geometry.convex_hull.Hull.halfspaces`, a uniform
+``A x + b <= tol`` facet form whose first ``2 d`` rows are always the
+hull's bounding box) and evaluates membership in two fused stages:
+
+1. **Gate** — one vectorized pass over (points x hulls x dims) against
+   conservatively padded float32 copies of every hull's bbox rows.  The
+   padding (outward ``nextafter`` of the float64 bound + tolerance)
+   guarantees the gate is a *superset* of the exact bbox-row test, so a
+   gated-out pair is provably outside — no exact arithmetic needed.
+2. **Sparse exact evaluation** — only the surviving (point, hull)
+   candidate pairs (typically ~1%) are run through the hull's full
+   float64 facet rows, hull by hull, in BLAS.  Each evaluation uses the
+   hull's own ``(A, b, tol)`` exactly as ``Hull.contains`` does, and
+   matmul rows are independent, so the packed masks are **bit-identical
+   to the per-hull path by construction** (see
+   ``tests/geometry/test_engine.py``).
+
+Layers stack on top:
+
+* :class:`PackedHulls` — the membership-matrix kernel above;
+* :func:`union_masks` — many unions over one shared point set, hulls
+  deduplicated by identity, one engine call total (what
+  ``FewShotOptimizer.refine_batch`` rides);
+* :class:`PackedRegion` — a compiled conjunction-of-disjunctions
+  program (``ConjunctiveRegion`` over ``UnionRegion`` parts), each part
+  a packed group over a column subset of the query row;
+* :class:`HullPackCache` — identity-keyed LRU of compiled packs so a
+  serving engine reuses one pack across model versions and repeated
+  predict calls.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from .convex_hull import _EPS, as_query_array
+
+__all__ = ["PackedHulls", "PackedRegion", "HullPackCache", "union_masks"]
+
+#: Cap on the (points x hulls) gate slab evaluated at once; larger
+#: queries are chunked over points so the gate stays cache-resident.
+_GATE_BUDGET = 1 << 24
+
+
+class PackedHulls:
+    """A stack of hulls compiled into one gated halfspace program.
+
+    Parameters
+    ----------
+    hulls:
+        Sequence of :class:`~repro.geometry.convex_hull.Hull`, all of
+        one dimensionality.  Strong references are kept, so identity
+        keys derived from the hulls stay valid for the pack's lifetime.
+    eps:
+        Facet tolerance parameter resolved at compile time (same
+        default as ``Hull.contains``).
+    """
+
+    def __init__(self, hulls, eps=_EPS):
+        hulls = tuple(hulls)
+        dims = {h.dim for h in hulls}
+        if len(dims) > 1:
+            raise ValueError("hulls of mixed dimensionality: {}".format(dims))
+        self.hulls = hulls
+        self.dim = dims.pop() if dims else 0
+        self.eps = float(eps)
+        if not hulls:
+            self.A = np.zeros((0, self.dim))
+            self.b = np.zeros(0)
+            self.tol = np.zeros(0)
+            self.starts = np.zeros(1, dtype=np.intp)
+            self._rows = []
+            self._gate_lo = np.zeros((0, self.dim), dtype=np.float32)
+            self._gate_hi = np.zeros((0, self.dim), dtype=np.float32)
+            return
+        systems = [h.halfspaces() for h in hulls]
+        counts = np.array([s.n_facets for s in systems], dtype=np.intp)
+        if (counts == 0).any():
+            raise ValueError("cannot pack a hull with no facets")
+        # Stacked form (facet_values, introspection, benchmarks).
+        self.A = np.ascontiguousarray(np.vstack([s.A for s in systems]))
+        self.b = np.concatenate([s.b for s in systems])
+        self.tol = np.concatenate([s.tol(self.eps) for s in systems])
+        self.starts = np.concatenate([[0], np.cumsum(counts)])
+        # Per-hull exact rows for the sparse stage.
+        self._rows = [(s.A, s.b, s.tol(self.eps)) for s in systems]
+        # Conservative float32 gate, read straight off each system's
+        # leading bounding-box rows (the lowering's layout invariant —
+        # verified here) so gate and exact test share one source of
+        # truth, including for deserialized hulls.  Padding each bound
+        # outward past its resolved tolerance with a nextafter absorbs
+        # every float64 rounding slack of the exact comparison, making
+        # gate_pass a strict superset of the exact bbox-row test.
+        d, eye = self.dim, np.eye(self.dim)
+        pad_hi = np.empty((len(hulls), d))
+        pad_lo = np.empty((len(hulls), d))
+        for i, (A, b, tol) in enumerate(self._rows):
+            if len(b) < 2 * d or not np.array_equal(A[:d], eye) \
+                    or not np.array_equal(A[d:2 * d], -eye):
+                raise ValueError(
+                    "hull system lacks the canonical leading bbox rows")
+            pad_hi[i] = -b[:d] + tol[:d]
+            pad_lo[i] = b[d:2 * d] - tol[d:2 * d]
+        self._gate_lo = np.nextafter(pad_lo.astype(np.float32),
+                                     -np.inf).astype(np.float32)
+        self._gate_hi = np.nextafter(pad_hi.astype(np.float32),
+                                     np.inf).astype(np.float32)
+
+    @classmethod
+    def from_hulls(cls, hulls, eps=_EPS):
+        return cls(hulls, eps=eps)
+
+    @property
+    def n_hulls(self):
+        return len(self.hulls)
+
+    @property
+    def n_facets(self):
+        return len(self.b)
+
+    # ------------------------------------------------------------------
+    def facet_values(self, points):
+        """Raw ``(n, total_facets)`` facet evaluations: one dense matmul
+        against the whole stacked system (benchmark / analysis path; the
+        membership kernel uses the gated sparse route instead)."""
+        points = as_query_array(points, self.dim)
+        values = points @ self.A.T
+        values += self.b
+        return values
+
+    def candidates(self, points):
+        """Boolean ``(n, n_hulls)`` conservative gate matrix.
+
+        True wherever the point may lie in the hull (padded-bbox hit);
+        guaranteed True for every actual member.
+        """
+        points = as_query_array(points, self.dim)
+        gate = np.ones((len(points), self.n_hulls), dtype=bool)
+        if self.n_hulls == 0 or len(points) == 0:
+            return gate
+        pts32 = points.astype(np.float32)
+        for j in range(self.dim):
+            column = pts32[:, j, None]
+            gate &= column >= self._gate_lo[:, j]
+            gate &= column <= self._gate_hi[:, j]
+        return gate
+
+    def membership(self, points):
+        """Boolean ``(n, n_hulls)`` matrix: point i inside hull j.
+
+        Chunked over points so the gate slab stays cache-resident; the
+        exact stage evaluates each hull's own float64 facet rows on its
+        candidate points only.
+        """
+        points = as_query_array(points, self.dim)
+        n = len(points)
+        out = np.zeros((n, self.n_hulls), dtype=bool)
+        if n == 0 or self.n_hulls == 0:
+            return out
+        chunk = max(1024, _GATE_BUDGET // max(self.n_hulls, 1))
+        for start in range(0, n, chunk):
+            block = points[start:start + chunk]
+            gate = self.candidates(block)
+            for h in np.flatnonzero(gate.any(axis=0)):
+                idx = np.flatnonzero(gate[:, h])
+                sub = block if len(idx) == len(block) else block[idx]
+                A, b, tol = self._rows[h]
+                values = sub @ A.T
+                values += b
+                out[start + idx, h] = (values <= tol).all(axis=1)
+        return out
+
+    def contains_any(self, points):
+        """Boolean ``(n,)`` union-membership mask (inside *some* hull)."""
+        points = as_query_array(points, self.dim)
+        if self.n_hulls == 0:
+            return np.zeros(len(points), dtype=bool)
+        return self.membership(points).any(axis=1)
+
+    def __repr__(self):
+        return "PackedHulls(dim={}, hulls={}, facets={})".format(
+            self.dim, self.n_hulls, self.n_facets)
+
+
+def union_masks(hull_lists, points, pack_cache=None):
+    """Evaluate many unions of hulls over one shared point set.
+
+    Deduplicates hulls by identity across all unions (concurrent
+    sessions built via ``FewShotOptimizer.fit_batch`` share hull
+    objects), runs **one** packed membership call for the distinct
+    hulls, and ORs each union's columns.
+
+    Parameters
+    ----------
+    hull_lists:
+        Iterable whose entries are sequences of hulls (one entry per
+        union); an entry may be empty, yielding an all-False mask.
+    points:
+        The shared ``(n, d)`` query array.
+    pack_cache:
+        Optional :class:`HullPackCache`; the compiled pack for this
+        exact hull set is then reused across calls (e.g. across model
+        versions of the same serving sessions).
+
+    Returns
+    -------
+    List of ``(n,)`` boolean masks, one per entry of ``hull_lists``.
+    """
+    hull_lists = [list(hulls) for hulls in hull_lists]
+    index, distinct = {}, []
+    columns = []
+    for hulls in hull_lists:
+        cols = []
+        for hull in hulls:
+            col = index.get(id(hull))
+            if col is None:
+                col = index[id(hull)] = len(distinct)
+                distinct.append(hull)
+            cols.append(col)
+        columns.append(np.asarray(cols, dtype=np.intp))
+    if not distinct:
+        dim = np.atleast_2d(np.asarray(points, dtype=np.float64)).shape[-1]
+        n = len(as_query_array(points, dim))
+        return [np.zeros(n, dtype=bool) for _ in hull_lists]
+    if pack_cache is not None:
+        pack = pack_cache.get(distinct)
+    else:
+        pack = PackedHulls(distinct)
+    member = pack.membership(points)
+    return [member[:, cols].any(axis=1) if len(cols)
+            else np.zeros(len(member), dtype=bool)
+            for cols in columns]
+
+
+class PackedRegion:
+    """A compiled conjunction-of-disjunctions membership program.
+
+    ``groups`` is a list of ``(hulls, columns)`` pairs: a point belongs
+    to the region iff for *every* group its projection onto ``columns``
+    (``None`` = the whole row) lies inside *some* hull of the group.  A
+    single group with ``columns=None`` is exactly a union region; many
+    groups over per-subspace column sets are a conjunctive UIR.  Each
+    group compiles to its own :class:`PackedHulls`, so evaluation is
+    one gated engine call per group on the projected rows — the same
+    kernel (and bit-identical masks) as querying each part directly.
+    """
+
+    def __init__(self, groups, dim=None):
+        self.dim = None if dim is None else int(dim)
+        self.groups = []
+        for hulls, columns in groups:
+            hulls = list(hulls)
+            if not hulls:
+                raise ValueError("a conjunction group needs >= 1 hull")
+            if columns is not None:
+                columns = np.asarray(list(columns), dtype=np.intp)
+                if len(columns) != hulls[0].dim:
+                    raise ValueError(
+                        "hull dimension {} != column group size {}"
+                        .format(hulls[0].dim, len(columns)))
+            elif self.dim is not None and hulls[0].dim != self.dim:
+                raise ValueError("hull dimension {} != region dimension {}"
+                                 .format(hulls[0].dim, self.dim))
+            self.groups.append((PackedHulls(hulls), columns))
+        if not self.groups:
+            raise ValueError("PackedRegion needs >= 1 group")
+
+    @property
+    def n_groups(self):
+        return len(self.groups)
+
+    @property
+    def n_hulls(self):
+        return sum(pack.n_hulls for pack, _ in self.groups)
+
+    # ------------------------------------------------------------------
+    def contains(self, points):
+        """Boolean ``(n,)`` mask: AND over groups of OR over hulls."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.size == 0:
+            return np.zeros(0, dtype=bool)
+        points = np.atleast_2d(points)
+        mask = np.ones(len(points), dtype=bool)
+        for pack, columns in self.groups:
+            if not mask.any():
+                break
+            projected = points if columns is None else points[:, columns]
+            mask &= pack.contains_any(projected)
+        return mask
+
+    def __repr__(self):
+        return "PackedRegion(dim={}, groups={}, hulls={})".format(
+            self.dim, self.n_groups, self.n_hulls)
+
+
+class HullPackCache:
+    """Identity-keyed LRU of compiled :class:`PackedHulls`.
+
+    The key is the tuple of hull object identities; the cached pack
+    holds strong references to its hulls, so a key can never be
+    recycled to a different hull set while its entry is alive.  The
+    serving layer keeps one of these so the per-group pack built for a
+    set of sessions survives model-version bumps (re-adaptation changes
+    classifiers, never the few-shot hull geometry) and repeated predict
+    calls.
+    """
+
+    def __init__(self, capacity=128):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, hulls):
+        """The compiled pack for exactly this hull sequence."""
+        hulls = tuple(hulls)
+        key = tuple(map(id, hulls))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        pack = PackedHulls(hulls)
+        self._entries[key] = pack
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return pack
+
+    def evict_containing(self, hulls):
+        """Drop every cached pack referencing any of these hulls.
+
+        Called when the hulls' owner goes away (e.g. a serving session
+        closes) so retired geometry is not pinned until LRU churn.
+        Entries for packs *sharing* some of the hulls with live owners
+        are dropped too — they recompile cheaply on next use.
+        """
+        ids = set(map(id, hulls))
+        if not ids:
+            return 0
+        stale = [key for key in self._entries if ids.intersection(key)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    @property
+    def stats(self):
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "capacity": self.capacity}

@@ -5,13 +5,21 @@
 convex decomposition covers concave and even disconnected interest regions.
 ``ConjunctiveRegion`` combines per-subspace regions into a full-space UIR
 (Section III-A: R_u is the conjunctive combination of its subregions).
+
+Both compile themselves lazily to packed halfspace programs
+(:mod:`repro.geometry.engine`): the first ``contains`` call stacks every
+hull's facet rows into one matrix, and every later call is a single
+matmul plus segment reductions instead of a Python loop over hulls.
+Packs are cached on the region and never invalidated — hulls are
+immutable once built, and a region's hull list is fixed at construction.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .convex_hull import Hull
+from .convex_hull import Hull, as_query_array
+from .engine import PackedHulls, PackedRegion
 
 __all__ = ["Region", "UnionRegion", "ConjunctiveRegion", "BoxRegion",
            "ScaledRegion"]
@@ -50,16 +58,16 @@ class UnionRegion(Region):
             raise ValueError("hulls of mixed dimensionality: {}".format(dims))
         self.hulls = hulls
         self.dim = dims.pop()
+        self._packed = None
+
+    def compiled(self):
+        """The region's cached :class:`~repro.geometry.engine.PackedHulls`."""
+        if self._packed is None:
+            self._packed = PackedHulls(self.hulls)
+        return self._packed
 
     def contains(self, points):
-        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
-        mask = np.zeros(len(points), dtype=bool)
-        for hull in self.hulls:
-            remaining = ~mask
-            if not remaining.any():
-                break
-            mask[remaining] = hull.contains(points[remaining])
-        return mask
+        return self.compiled().contains_any(points)
 
     @property
     def n_parts(self):
@@ -82,7 +90,7 @@ class BoxRegion(Region):
         self.dim = self.lo.size
 
     def contains(self, points):
-        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        points = as_query_array(points, self.dim)
         return ((points >= self.lo) & (points <= self.hi)).all(axis=1)
 
 
@@ -102,7 +110,7 @@ class ScaledRegion(Region):
         self.dim = region.dim
 
     def contains(self, points):
-        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        points = as_query_array(points, self.dim)
         return self.region.contains(self.scaler.transform(points))
 
     @property
@@ -119,6 +127,12 @@ class ConjunctiveRegion(Region):
         List of ``(column_indices, Region)``: a full-space point belongs to
         the UIR iff, for every entry, its projection onto ``column_indices``
         belongs to the corresponding region.
+
+    Hull-backed entries (``UnionRegion``, bare ``Hull``) are compiled
+    into **one** packed program spanning all their column groups — a
+    single matmul answers the whole conjunction-of-disjunctions; other
+    region types (scaled wrappers, boxes, custom predicates) are ANDed
+    in through their own ``contains``.
     """
 
     def __init__(self, subspace_regions):
@@ -133,11 +147,31 @@ class ConjunctiveRegion(Region):
                         columns, region.dim))
             self.subspace_regions.append((columns, region))
         self.dim = sum(len(cols) for cols, _ in self.subspace_regions)
+        self._generic = [(cols, r) for cols, r in self.subspace_regions
+                         if not isinstance(r, (UnionRegion, Hull))]
+        self._hull_groups = [(cols, r) for cols, r in self.subspace_regions
+                             if isinstance(r, (UnionRegion, Hull))]
+        self._packed = None
+
+    def compiled(self):
+        """Cached :class:`~repro.geometry.engine.PackedRegion` over the
+        hull-backed parts (None when no part is hull-backed)."""
+        if self._packed is None and self._hull_groups:
+            self._packed = PackedRegion(
+                [(region.hulls if isinstance(region, UnionRegion)
+                  else [region], columns)
+                 for columns, region in self._hull_groups])
+        return self._packed
 
     def contains(self, points):
-        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
-        mask = np.ones(len(points), dtype=bool)
-        for columns, region in self.subspace_regions:
+        points = np.asarray(points, dtype=np.float64)
+        if points.size == 0:
+            return np.zeros(0, dtype=bool)
+        points = np.atleast_2d(points)
+        packed = self.compiled()
+        mask = packed.contains(points) if packed is not None \
+            else np.ones(len(points), dtype=bool)
+        for columns, region in self._generic:
             if not mask.any():
                 break
             mask &= region.contains(points[:, list(columns)])

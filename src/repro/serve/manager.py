@@ -29,6 +29,7 @@ import numpy as np
 from ..core.framework import ExplorationSession, LTE
 from ..core.memory import LRUStore
 from ..core.optimizer import FewShotOptimizer, HullRegistry
+from ..geometry.engine import HullPackCache
 from .batched import predict_adapted_batch, run_adapt_requests
 from .cache import PredictionCache, rows_digest
 
@@ -80,6 +81,18 @@ class SessionManager:
         # session-independent — every session scoring the same rows in a
         # subspace shares one encode pass.
         self._encoded_rows = LRUStore(32)
+        # Compiled halfspace packs for few-shot refinement, keyed by the
+        # identity tuple of each refine group's deduped hull set.
+        # Re-adaptation bumps model versions but never touches hull
+        # geometry, so the steady-state pattern — the same session group
+        # flushing and predicting again — hits across versions.  A
+        # partial-miss group (some sessions served from the prediction
+        # cache) keys a subset and compiles its own pack; that compile
+        # is a cheap vstack of per-hull precompiled lowerings, and the
+        # LRU bounds the subset entries.  Restored managers rebuild
+        # packs from the checkpoint's serialized facet form without
+        # ever re-running Qhull.
+        self._region_packs = HullPackCache(capacity=128)
         self._sessions = {}
         self._queue = deque()
         self._next_id = 0
@@ -104,10 +117,20 @@ class SessionManager:
         """Forget a session and drop its queued work and cache entries."""
         with self._lock:
             self._require(session_id)
-            del self._sessions[session_id]
+            session = self._sessions.pop(session_id)
             self._queue = deque(p for p in self._queue
                                 if p.session_id != session_id)
             self.cache.invalidate_session(session_id)
+            # Un-pin the session's compiled geometry (hulls shared with
+            # live sessions just recompile on the next refine).
+            hulls = [hull
+                     for ss in session._subsessions.values()
+                     if ss.optimizer is not None
+                     for region in (ss.optimizer.outer_region,
+                                    ss.optimizer.inner_region)
+                     if region is not None
+                     for hull in region.hulls]
+            self._region_packs.evict_containing(hulls)
 
     def session(self, session_id):
         """The underlying :class:`ExplorationSession` (escape hatch)."""
@@ -314,11 +337,13 @@ class SessionManager:
                 stacked = predict_adapted_batch(
                     [subsession.adapted for _, subsession, _ in group],
                     encoded)
-            # Geometric refinement shares per-hull membership across the
-            # whole group (sessions built via fit_batch share hulls).
+            # Geometric refinement runs all (points x hulls x sessions)
+            # tests as one packed-engine call; the manager-level pack
+            # cache persists the compiled halfspace stack across model
+            # versions and repeated predict calls.
             refined = FewShotOptimizer.refine_batch(
                 [subsession.optimizer for _, subsession, _ in group],
-                scaled, stacked)
+                scaled, stacked, pack_cache=self._region_packs)
             for (session_id, subsession, key), predictions in zip(group,
                                                                   refined):
                 self.cache.put(key, predictions)
@@ -488,3 +513,11 @@ class SessionManager:
                 "adapted_total": self.adapted_total,
                 "cache": self.cache.stats,
             }
+
+    @property
+    def region_pack_stats(self):
+        """Compiled-geometry pack cache counters (process-local: packs
+        are keyed by hull identity, so they are rebuilt — cheaply, from
+        the hulls' precompiled facet rows — rather than checkpointed)."""
+        with self._lock:
+            return self._region_packs.stats

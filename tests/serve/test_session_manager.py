@@ -353,6 +353,34 @@ class TestStats:
         assert stats["adapted_total"] == len(serve_subspaces)
         assert stats["cache"]["entries"] == len(serve_subspaces)
 
+    def test_region_packs_reused_across_model_versions(
+            self, manager, serve_subspaces, make_oracle, eval_rows):
+        """Re-adaptation bumps model versions but never hull geometry,
+        so the refine group's compiled pack is a cache hit on the next
+        predict instead of a recompile."""
+        oracle = make_oracle(62)
+        sid = manager.open_session(variant="meta_star",
+                                   subspaces=serve_subspaces)
+        for subspace, tuples in manager.initial_tuples(sid).items():
+            manager.submit_labels(sid, subspace,
+                                  oracle.label_subspace(subspace, tuples))
+        manager.flush()
+        manager.predict(sid, eval_rows)
+        misses = manager.region_pack_stats["misses"]
+        assert misses > 0
+        # An iterative round re-adapts every subspace (version bump).
+        subspace = serve_subspaces[0]
+        raw = manager.session(sid)._subsessions[subspace] \
+            .state.to_raw(manager.session(sid)
+                          ._subsessions[subspace].state.data[40:43])
+        manager.add_labels(sid, subspace, raw,
+                           oracle.label_subspace(subspace, raw))
+        manager.flush()
+        manager.predict(sid, eval_rows)
+        stats = manager.region_pack_stats
+        assert stats["misses"] == misses   # no recompilation
+        assert stats["hits"] > 0
+
     def test_retrieve_returns_interesting_rows(self, manager,
                                                serve_subspaces,
                                                make_oracle):
