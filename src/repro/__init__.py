@@ -25,6 +25,11 @@ Packages
     Versioned checkpoint/restore (npz + JSON manifest with schema
     version and content digest) for pretrained artifacts, resumable
     sessions and warm-started serving snapshots.
+``repro.store``
+    Chunked columnar dataset store: fixed-size row chunks (in memory or
+    memory-mapped from disk) with per-chunk zone maps, and a scan
+    planner that prunes whole chunks a region predicate provably cannot
+    touch — out-of-core pretraining and serving at chunk-bounded memory.
 """
 
 from .core import LTE, LTEConfig

@@ -11,6 +11,8 @@ meta-learner is never evaluated on regions it trained on.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from ..core.framework import LTE, LTEConfig
@@ -34,12 +36,22 @@ def clear_caches():
     _LTE_CACHE.clear()
 
 
-def get_table(dataset="sdss", scale=None):
-    """Cached synthetic dataset at the given bench scale."""
+def get_table(dataset="sdss", scale=None, backend=None):
+    """Cached synthetic dataset at the given bench scale.
+
+    ``backend`` (or the ``REPRO_DATA_BACKEND`` env var) selects the data
+    substrate: ``"memory"`` (default) for the dense in-memory
+    :class:`~repro.data.Table`, ``"store"`` for the same rows chunked
+    into a :class:`~repro.store.ChunkStore` — every bench and example
+    built on this helper can opt into the chunked substrate without code
+    changes.
+    """
     scale = scale or get_scale()
-    key = (dataset, scale.dataset_rows)
+    backend = backend or os.environ.get("REPRO_DATA_BACKEND", "memory")
+    key = (dataset, scale.dataset_rows, backend)
     if key not in _TABLE_CACHE:
-        _TABLE_CACHE[key] = load_dataset(dataset, n_rows=scale.dataset_rows)
+        _TABLE_CACHE[key] = load_dataset(dataset, n_rows=scale.dataset_rows,
+                                         backend=backend)
     return _TABLE_CACHE[key]
 
 

@@ -29,7 +29,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..data.sampling import random_sample
+from ..data.sampling import (random_indices, random_sample,
+                             stratified_chunk_sample)
 from ..data.subspaces import Subspace, random_decomposition
 from ..ml.scaler import MinMaxScaler
 from ..nn import Adam
@@ -85,6 +86,12 @@ class LTEConfig:
     # decomposition
     subspace_dim: int = 2
     seed: int = 7
+    # out-of-core offline fitting (chunk-store tables): size of the
+    # normalized per-subspace sample standing in for the full projection
+    # (clustering, preprocessing fits, extras, convergence statistics all
+    # draw from it) — the knob bounding offline memory by sample size
+    # rather than table size.
+    store_sample_rows: int = 50_000
 
     @property
     def ks(self):
@@ -179,8 +186,29 @@ class LTE:
 
     def _prepare_subspace(self, table, subspace, index=0):
         cfg = self.config
-        raw = subspace.project(table.data)
-        scaler = MinMaxScaler().fit(raw)
+        if hasattr(table, "iter_chunks"):
+            # Chunk-store table: the scaler comes straight off the zone
+            # maps (exact global bounds, no data pass) and the subspace
+            # working set is a bounded stratified chunk sample instead
+            # of the full normalized projection — offline memory scales
+            # with store_sample_rows, never with the table.
+            nan_cols = table.column_has_nan(subspace.columns)
+            if nan_cols.any():
+                raise ValueError(
+                    "cannot fit subspace {}: attribute(s) {} contain NaN "
+                    "values (zone maps flag them); impute or drop them "
+                    "before fit_offline".format(
+                        tuple(subspace.names),
+                        [n for n, bad in zip(subspace.names, nan_cols)
+                         if bad]))
+            lo, hi = table.column_bounds(subspace.columns)
+            scaler = MinMaxScaler.from_bounds(lo, hi)
+            raw = stratified_chunk_sample(
+                table, cfg.store_sample_rows, columns=subspace.columns,
+                seed=cfg.seed + index)
+        else:
+            raw = subspace.project(table.data)
+            scaler = MinMaxScaler().fit(raw)
         data = scaler.transform(raw)
         attributes = [table.attribute(name) for name in subspace.names]
         preprocessor = TabularPreprocessor(
@@ -205,9 +233,7 @@ class LTE:
         """Mean nearest-C_u-center distance of a sample — the clustering
         fit statistic used by drift detection."""
         from ..ml.kmeans import pairwise_distances
-        rng = np.random.default_rng(seed)
-        idx = rng.choice(len(scaled_points),
-                         size=min(sample, len(scaled_points)), replace=False)
+        idx = random_indices(len(scaled_points), sample, seed=seed)
         dist = pairwise_distances(scaled_points[idx],
                                   state.summary.centers_u)
         return float(dist.min(axis=1).mean())
@@ -227,7 +253,12 @@ class LTE:
         """
         scores = {}
         for subspace, state in self.states.items():
-            raw = subspace.project(table.data)
+            if hasattr(table, "iter_chunks"):
+                raw = stratified_chunk_sample(
+                    table, self.config.store_sample_rows,
+                    columns=subspace.columns, seed=seed)
+            else:
+                raw = subspace.project(table.data)
             scaled = state.to_scaled(raw)
             error = self._quantization_error(state, scaled, seed=seed)
             baseline = max(state.quantization_baseline, 1e-12)
@@ -784,11 +815,8 @@ class ExplorationSession:
             raise RuntimeError(
                 "convergence_estimate needs the meta_star variant")
         state = subsession.state
-        rng = np.random.default_rng(seed)
-        idx = rng.choice(len(state.data),
-                         size=min(sample_rows, len(state.data)),
-                         replace=False)
-        scaled = state.data[idx]
+        scaled = state.data[random_indices(len(state.data), sample_rows,
+                                           seed=seed)]
         optimizer = subsession.optimizer
         # Each subregion's contains runs on its cached compiled pack.
         inner = optimizer.inner_region.contains(scaled) \
@@ -817,12 +845,20 @@ class ExplorationSession:
         Parameters
         ----------
         rows:
-            Candidate rows; default: the full exploratory table.
+            Candidate rows, or a :class:`~repro.store.ChunkStore`;
+            default: the full exploratory table (whichever substrate the
+            system was fitted on).
         limit:
             Optional cap on the number of returned rows.
         """
         if rows is None:
-            rows = self.lte.table.data
+            rows = self.lte.table if hasattr(self.lte.table, "iter_chunks") \
+                else self.lte.table.data
+        if hasattr(rows, "iter_chunks"):
+            indices = np.flatnonzero(self.predict_store(rows) == 1)
+            if limit is not None:
+                indices = indices[:int(limit)]
+            return rows.take(indices)
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
         mask = self.predict(rows) == 1
         result = rows[mask]
@@ -836,10 +872,50 @@ class ExplorationSession:
         return self._subsessions[subspace].predict(raw_points)
 
     def predict(self, rows):
-        """0/1 UIR membership for full-space rows (conjunctive combination)."""
+        """0/1 UIR membership for full-space rows (conjunctive combination).
+
+        ``rows`` may also be a :class:`~repro.store.ChunkStore`, in which
+        case the evaluation runs chunk-wise with zone-map pruning
+        (:meth:`predict_store`) — same bits, bounded memory.
+        """
+        if hasattr(rows, "iter_chunks"):
+            return self.predict_store(rows)
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
         result = np.ones(len(rows), dtype=np.int64)
         for subspace, subsession in self._subsessions.items():
             projected = subspace.project(rows)
             result &= subsession.predict(projected)
+        return result
+
+    def predict_store(self, store):
+        """0/1 UIR membership over a chunk store, zone-map pruned.
+
+        Chunks no subspace's few-shot refinement could mark positive
+        (outside both the outer and inner subregion bounding boxes, in
+        raw coordinates through the subspace scaler) are skipped without
+        touching their bytes: the Meta* refinement demotes every
+        positive prediction outside the outer subregion, so those rows
+        end up 0 either way — the result is **bit-identical** to
+        ``predict(store.data)`` while reading only the chunks a user's
+        interest region can overlap.  Basic/Meta sessions (no geometric
+        refinement) evaluate every chunk, still at chunk-bounded memory.
+        """
+        from ..store.scan import session_chunk_keep
+
+        for subsession in self._subsessions.values():
+            if subsession.adapted is None:
+                raise RuntimeError(
+                    "labels not yet submitted for subspace {}".format(
+                        subsession.state.subspace))
+        keep = session_chunk_keep(store, self._subsessions)
+        result = np.zeros(store.n_rows, dtype=np.int64)
+        for ci in np.flatnonzero(keep):
+            block = store.chunk(ci)
+            out = np.ones(len(block), dtype=np.int64)
+            for subspace, subsession in self._subsessions.items():
+                if not out.any():
+                    break
+                out &= subsession.predict(block[:, list(subspace.columns)])
+            start = int(store.offsets[ci])
+            result[start:start + len(block)] = out
         return result

@@ -1,13 +1,17 @@
 """Dataset substrate: schema, synthetic SDSS/CAR tables, sampling, subspaces."""
 
-from .datasets import DATASET_BUILDERS, load_dataset, make_car, make_sdss
-from .sampling import random_sample, ratio_sample, stratified_indices
+from .datasets import (DATASET_BACKENDS, DATASET_BUILDERS,
+                       build_dataset_store, load_dataset, make_car, make_sdss)
+from .sampling import (random_indices, random_sample, ratio_sample,
+                       stratified_chunk_sample, stratified_indices)
 from .schema import Attribute, Table
 from .subspaces import Subspace, match_subspaces, random_decomposition
 
 __all__ = [
     "Attribute", "Table",
-    "make_sdss", "make_car", "load_dataset", "DATASET_BUILDERS",
-    "random_sample", "ratio_sample", "stratified_indices",
+    "make_sdss", "make_car", "load_dataset", "build_dataset_store",
+    "DATASET_BUILDERS", "DATASET_BACKENDS",
+    "random_indices", "random_sample", "ratio_sample",
+    "stratified_indices", "stratified_chunk_sample",
     "Subspace", "random_decomposition", "match_subspaces",
 ]

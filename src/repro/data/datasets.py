@@ -28,7 +28,17 @@ import numpy as np
 
 from .schema import Attribute, Table
 
-__all__ = ["make_sdss", "make_car", "load_dataset", "DATASET_BUILDERS"]
+__all__ = ["make_sdss", "make_car", "load_dataset", "DATASET_BUILDERS",
+           "build_dataset_store", "DATASET_BACKENDS"]
+
+
+def _stamp_provenance(table, builder, n_rows, seed):
+    table.provenance = {
+        "builder": str(builder),
+        "n_rows": int(n_rows),
+        "seed": int(seed) if isinstance(seed, (int, np.integer)) else None,
+    }
+    return table
 
 
 def _mixture(rng, n, specs):
@@ -85,7 +95,8 @@ def make_sdss(n_rows=100_000, seed=17):
         Attribute("sky_i", hint="modal"),
     ]
     data = np.column_stack([rowc, colc, ra, dec, sky_u, sky_g, sky_r, sky_i])
-    return Table("SDSS", attributes, data)
+    return _stamp_provenance(Table("SDSS", attributes, data),
+                             "sdss", n_rows, seed)
 
 
 def make_car(n_rows=50_000, seed=29):
@@ -128,14 +139,37 @@ def make_car(n_rows=50_000, seed=29):
         Attribute("engine_cc", hint="modal"),
     ]
     data = np.column_stack([price, mileage, year, power, engine])
-    return Table("CAR", attributes, data)
+    return _stamp_provenance(Table("CAR", attributes, data),
+                             "car", n_rows, seed)
 
 
 DATASET_BUILDERS = {"sdss": make_sdss, "car": make_car}
 
+DATASET_BACKENDS = ("memory", "store")
 
-def load_dataset(name, n_rows=None, seed=None):
-    """Build a dataset by name ('sdss' or 'car'), with optional overrides."""
+
+def load_dataset(name, n_rows=None, seed=None, backend="memory",
+                 chunk_rows=None, directory=None):
+    """Build a dataset by name ('sdss' or 'car'), with optional overrides.
+
+    Parameters
+    ----------
+    n_rows, seed:
+        Builder overrides (``n_rows`` scales the synthetic table to any
+        size; defaults are the paper's 100K / 50K).
+    backend:
+        ``"memory"`` returns the usual in-memory
+        :class:`~repro.data.schema.Table`; ``"store"`` returns the same
+        rows — bit for bit, same builder RNG stream — chunked into a
+        :class:`~repro.store.ChunkStore` (on disk when ``directory`` is
+        given), so benchmarks and examples opt into the chunked substrate
+        without code changes.  For tables too large to materialize even
+        once, use :func:`build_dataset_store`, which generates
+        chunk-by-chunk at constant memory.
+    """
+    if backend not in DATASET_BACKENDS:
+        raise ValueError("unknown backend {!r}; options: {}".format(
+            backend, DATASET_BACKENDS))
     try:
         builder = DATASET_BUILDERS[name.lower()]
     except KeyError:
@@ -146,4 +180,54 @@ def load_dataset(name, n_rows=None, seed=None):
         kwargs["n_rows"] = n_rows
     if seed is not None:
         kwargs["seed"] = seed
-    return builder(**kwargs)
+    table = builder(**kwargs)
+    if backend == "memory":
+        return table
+    return table.to_store(chunk_rows=chunk_rows, directory=directory)
+
+
+def build_dataset_store(name, n_rows, seed=None, chunk_rows=None,
+                        directory=None, block_rows=None):
+    """Generate a synthetic dataset chunk-by-chunk at constant memory.
+
+    The scalable counterpart of ``load_dataset(..., backend="store")``:
+    instead of materializing the full table once, the named builder runs
+    per block over seeds spawned from ``np.random.SeedSequence(seed)``,
+    and each completed chunk is written (or frozen) before the next block
+    is generated — peak memory is O(block + chunk) regardless of
+    ``n_rows``.  The result is deterministic in ``(name, n_rows, seed,
+    block_rows)`` but is its *own* dataset: per-block RNG streams differ
+    from the single-stream ``make_*`` tables of the same size.
+    """
+    from ..store import DEFAULT_CHUNK_ROWS, ChunkStore
+
+    try:
+        builder = DATASET_BUILDERS[name.lower()]
+    except KeyError:
+        raise ValueError("unknown dataset {!r}; options: {}".format(
+            name, sorted(DATASET_BUILDERS))) from None
+    n_rows = int(n_rows)
+    if n_rows < 0:
+        raise ValueError("n_rows must be >= 0")
+    chunk_rows = int(chunk_rows or DEFAULT_CHUNK_ROWS)
+    block_rows = int(block_rows or chunk_rows)
+    n_blocks = max(1, -(-n_rows // block_rows)) if n_rows else 0
+    children = np.random.SeedSequence(seed).spawn(n_blocks)
+    template = builder(n_rows=1, seed=0)
+
+    def blocks():
+        remaining = n_rows
+        for child in children:
+            rows = min(block_rows, remaining)
+            remaining -= rows
+            yield builder(n_rows=rows, seed=child).data
+
+    store = ChunkStore.from_blocks(
+        template.name, template.attributes, blocks(),
+        chunk_rows=chunk_rows, directory=directory)
+    store.provenance = {"builder": name.lower(), "n_rows": n_rows,
+                        "seed": None if seed is None else int(seed),
+                        "block_rows": block_rows, "chunked": True}
+    if directory is not None:
+        store._write_manifest()   # re-stamp with the final provenance
+    return store

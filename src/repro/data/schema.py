@@ -70,6 +70,10 @@ class Table:
         self._index = {a.name: i for i, a in enumerate(self.attributes)}
         if len(self._index) != len(self.attributes):
             raise ValueError("duplicate attribute names")
+        #: Optional dataset provenance ({"builder", "n_rows", "seed"}),
+        #: attached by the dataset registry and carried into stores and
+        #: checkpoint manifests so artifacts can say what data built them.
+        self.provenance = None
 
     # ------------------------------------------------------------------
     @property
@@ -115,7 +119,17 @@ class Table:
 
     def sample_rows(self, n, seed=None):
         """Uniform row sample without replacement (n capped at n_rows)."""
-        n = min(int(n), self.n_rows)
-        rng = np.random.default_rng(seed)
-        idx = rng.choice(self.n_rows, size=n, replace=False)
-        return self.data[idx]
+        from .sampling import random_indices
+        return self.data[random_indices(self.n_rows, n, seed=seed)]
+
+    def to_store(self, chunk_rows=None, directory=None):
+        """Chunk this table into a :class:`~repro.store.ChunkStore`.
+
+        Row order is preserved exactly, so store-backed evaluation is
+        bit-identical to scanning ``self.data``.  With ``directory`` the
+        chunks are written to disk and come back memory-mapped.
+        """
+        from ..store import DEFAULT_CHUNK_ROWS, ChunkStore
+        return ChunkStore.from_table(
+            self, chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS,
+            directory=directory)

@@ -55,16 +55,45 @@ class ConjunctiveOracle:
 
     def label(self, rows):
         """Label full-space rows against the conjunctive UIR."""
+        if hasattr(rows, "iter_chunks"):
+            self.labels_given += rows.n_rows
+            return self.ground_truth_store(rows)
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
         self.labels_given += len(rows)
         return self.ground_truth(rows)
 
     def ground_truth(self, rows):
-        """Conjunctive membership *without* counting labels (evaluation)."""
+        """Conjunctive membership *without* counting labels (evaluation).
+
+        ``rows`` may be a :class:`~repro.store.ChunkStore`; the
+        evaluation then runs chunk-wise with zone-map pruning
+        (:meth:`ground_truth_store`) — same bits, bounded memory.
+        """
+        if hasattr(rows, "iter_chunks"):
+            return self.ground_truth_store(rows)
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
         result = np.ones(len(rows), dtype=np.int64)
         for subspace, region in self.subspace_regions.items():
             result &= region.label(subspace.project(rows))
+        return result
+
+    def ground_truth_store(self, store):
+        """Conjunctive membership over a chunk store, zone-map pruned.
+
+        Each subspace region scans the store through a
+        :class:`~repro.store.ChunkScan`: chunks whose zone maps cannot
+        intersect the region's conservative bounding boxes are skipped
+        outright, the survivors run the exact packed membership test —
+        bit-identical to :meth:`ground_truth` over the materialized rows.
+        """
+        from ..store.scan import scan_region
+
+        result = np.ones(store.n_rows, dtype=np.int64)
+        for subspace, region in self.subspace_regions.items():
+            if not result.any():
+                break
+            result &= scan_region(store, region,
+                                  columns=subspace.columns).astype(np.int64)
         return result
 
     def ground_truth_subspace(self, subspace, points):

@@ -109,8 +109,13 @@ def synthesize_query(session, sample_rows=4000, max_depth=8, seed=0):
     rows = table.sample_rows(sample_rows, seed=seed)
     predictions = session.predict(rows)
     tree = DecisionTree(max_depth=max_depth).fit(rows, predictions)
-    lower = table.data.min(axis=0)
-    upper = table.data.max(axis=0)
+    if hasattr(table, "iter_chunks"):
+        # Chunk-store table: exact bounds off the zone maps, no
+        # materialization.
+        lower, upper = table.column_bounds()
+    else:
+        lower = table.data.min(axis=0)
+        upper = table.data.max(axis=0)
     boxes = tree.positive_boxes(lower, upper)
     query = SynthesizedQuery(table.attribute_names, boxes, fidelity=0.0)
     query.fidelity = float(np.mean(query.predicate(rows) == predictions))

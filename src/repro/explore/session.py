@@ -44,7 +44,9 @@ def run_lte_exploration(lte, oracle, eval_rows, variant="meta_star",
         A :class:`~repro.explore.oracle.ConjunctiveOracle` whose subspace
         keys match the LTE meta-subspaces being explored.
     eval_rows:
-        Full-space rows on which the final F1 is measured.
+        Full-space rows on which the final F1 is measured — an array or
+        a :class:`~repro.store.ChunkStore` (evaluated chunk-wise with
+        zone-map pruning, bit-identically).
     variant:
         ``"basic"``, ``"meta"`` or ``"meta_star"``.
     manager:
@@ -64,7 +66,8 @@ def run_lte_exploration(lte, oracle, eval_rows, variant="meta_star",
             lte, [oracle], eval_rows, variant=variant, subspaces=subspaces,
             seeds=None if seed is None else [seed], manager=manager)
         return result
-    eval_rows = np.atleast_2d(np.asarray(eval_rows, dtype=np.float64))
+    if not hasattr(eval_rows, "iter_chunks"):
+        eval_rows = np.atleast_2d(np.asarray(eval_rows, dtype=np.float64))
     before = oracle.labels_given
     session = lte.start_session(variant=variant, subspaces=subspaces,
                                 seed=seed)
@@ -111,7 +114,8 @@ def score_session(session, oracle, eval_rows):
     """
     if not isinstance(oracle, ConjunctiveOracle):
         raise TypeError("score_session needs a ConjunctiveOracle")
-    eval_rows = np.atleast_2d(np.asarray(eval_rows, dtype=np.float64))
+    if not hasattr(eval_rows, "iter_chunks"):
+        eval_rows = np.atleast_2d(np.asarray(eval_rows, dtype=np.float64))
     labels_used = 0
     for subsession in session._subsessions.values():
         if subsession.labels is None:
@@ -163,7 +167,8 @@ def run_concurrent_explorations(lte, oracles, eval_rows, variant="meta_star",
     elif manager.lte is not lte:
         raise ValueError("manager serves a different LTE system than the "
                          "one passed; sessions would use the wrong model")
-    eval_rows = np.atleast_2d(np.asarray(eval_rows, dtype=np.float64))
+    if not hasattr(eval_rows, "iter_chunks"):
+        eval_rows = np.atleast_2d(np.asarray(eval_rows, dtype=np.float64))
     sids, befores = [], []
     try:
         for i, oracle in enumerate(oracles):

@@ -128,6 +128,16 @@ class PackedHulls:
     def n_facets(self):
         return len(self.b)
 
+    @property
+    def gate_bounds(self):
+        """Conservative per-hull bounding boxes: ``(lo, hi)`` float64
+        ``(n_hulls, dim)`` arrays.  Every point a hull's exact facet test
+        accepts lies inside its row's box (the padded gate the membership
+        kernel screens with — the zone-map scan planner prunes chunks
+        against the same source of truth)."""
+        return (self._gate_lo.astype(np.float64),
+                self._gate_hi.astype(np.float64))
+
     # ------------------------------------------------------------------
     def facet_values(self, points):
         """Raw ``(n, total_facets)`` facet evaluations: one dense matmul

@@ -39,6 +39,21 @@ class MinMaxScaler:
         self.max_ = data.max(axis=0)
         return self
 
+    @classmethod
+    def from_bounds(cls, lo, hi):
+        """Scaler over known exact column bounds (no data pass).
+
+        The chunk store's zone maps carry the global per-column min/max,
+        so a store-backed fit builds the identical scaler a full
+        ``fit(data)`` would — without materializing the data.
+        """
+        scaler = cls()
+        scaler.min_ = np.asarray(lo, dtype=np.float64).ravel().copy()
+        scaler.max_ = np.asarray(hi, dtype=np.float64).ravel().copy()
+        if scaler.min_.shape != scaler.max_.shape:
+            raise ValueError("lo/hi shape mismatch")
+        return scaler
+
     def transform(self, data):
         if self.min_ is None:
             raise RuntimeError("MinMaxScaler used before fit")

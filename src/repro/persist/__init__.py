@@ -41,8 +41,8 @@ A small CLI wraps the same paths: ``python -m repro.persist
 
 from .checkpoint import (SCHEMA_VERSION, CheckpointError, inspect_checkpoint,
                          load_checkpoint, save_checkpoint)
-from .state import (load_manager, load_pretrained, load_session, save_manager,
-                    save_pretrained, save_session)
+from .state import (dataset_provenance, load_manager, load_pretrained,
+                    load_session, save_manager, save_pretrained, save_session)
 
 __all__ = [
     "CheckpointError", "SCHEMA_VERSION",
@@ -50,4 +50,5 @@ __all__ = [
     "save_pretrained", "load_pretrained",
     "save_session", "load_session",
     "save_manager", "load_manager",
+    "dataset_provenance",
 ]

@@ -43,6 +43,23 @@ def _cmd_save(args):
     return 0
 
 
+def _describe_dataset(meta):
+    """One-line provenance summary from a manifest's dataset metadata."""
+    dataset = (meta or {}).get("dataset")
+    if not dataset:
+        return None
+    parts = []
+    if dataset.get("builder"):
+        parts.append("builder={}".format(dataset["builder"]))
+    if dataset.get("n_rows") is not None:
+        parts.append("n_rows={}".format(dataset["n_rows"]))
+    if dataset.get("seed") is not None:
+        parts.append("seed={}".format(dataset["seed"]))
+    if dataset.get("store_digest"):
+        parts.append("store_digest={}".format(dataset["store_digest"]))
+    return " ".join(parts) if parts else None
+
+
 def _summarize_state(kind, state):
     if kind == "lte-pretrained":
         trained = sum(1 for e in state["subspaces"]
@@ -79,6 +96,9 @@ def _cmd_load(args):
     print("checkpoint at {} verified OK".format(args.path))
     print("  kind: {}   schema: {}   digest: {}".format(
         info["kind"], info["schema_version"], info["digest"]))
+    dataset = _describe_dataset(info.get("meta"))
+    if dataset:
+        print("  trained on: {}".format(dataset))
     _summarize_state(info["kind"], state)
     return 0
 
@@ -92,6 +112,9 @@ def _cmd_inspect(args):
                                             summary["total_bytes"]))
     print("  digest: {}   verified: {}".format(
         summary["digest"], "OK" if summary["digest_ok"] else "FAILED"))
+    dataset = _describe_dataset(summary.get("meta"))
+    if dataset:
+        print("  trained on: {}".format(dataset))
     if summary["meta"]:
         print("  meta: {}".format(summary["meta"]))
     if summary["error"]:

@@ -34,7 +34,8 @@ from ..core.meta_training import MetaTrainer
 from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 
 __all__ = ["save_pretrained", "load_pretrained", "save_session",
-           "load_session", "save_manager", "load_manager"]
+           "load_session", "save_manager", "load_manager",
+           "dataset_provenance"]
 
 
 def _config_fingerprint(lte):
@@ -51,15 +52,46 @@ def _lte_identity(lte):
     was built with, and those are a deterministic function of (table,
     config); restores compare this identity and refuse mismatches
     loudly instead of pairing restored models with foreign scalers,
-    encoders or cluster summaries.
+    encoders or cluster summaries.  Chunk-store tables fingerprint by
+    their store digest (precomputed per-chunk content digests), so a
+    multi-gigabyte on-disk table is never re-read — or materialized —
+    just to identify a checkpoint.
     """
-    data = np.ascontiguousarray(np.asarray(lte.table.data,
-                                           dtype=np.float64))
+    table = lte.table
+    if hasattr(table, "iter_chunks"):
+        return {"config": _config_fingerprint(lte),
+                "table_shape": [int(table.n_rows),
+                                int(table.n_attributes)],
+                "table_digest": "store:{}".format(table.digest)}
+    data = np.ascontiguousarray(np.asarray(table.data, dtype=np.float64))
     h = hashlib.blake2b(data.tobytes(), digest_size=16)
     h.update(str(data.shape).encode())
     return {"config": _config_fingerprint(lte),
             "table_shape": list(data.shape),
             "table_digest": h.hexdigest()}
+
+
+def dataset_provenance(table):
+    """What a checkpoint's manifest should say about its training data.
+
+    Combines the builder provenance the dataset registry stamps on
+    tables/stores (builder name, n_rows, seed) with the store digest for
+    chunk-store tables; returns ``None`` when nothing is known.
+    """
+    out = dict(getattr(table, "provenance", None) or {})
+    if hasattr(table, "iter_chunks"):
+        out.setdefault("n_rows", int(table.n_rows))
+        out["store_digest"] = str(table.digest)
+    return out or None
+
+
+def _meta_with_provenance(meta, lte):
+    """Merge dataset provenance into user metadata (user keys win)."""
+    meta = dict(meta or {})
+    provenance = dataset_provenance(lte.table)
+    if provenance is not None:
+        meta.setdefault("dataset", provenance)
+    return meta
 
 
 def _require(state, key, path):
@@ -104,7 +136,8 @@ def save_pretrained(path, lte, meta=None):
             for subspace, lte_state in lte.states.items()
         ],
     }
-    return save_checkpoint(path, "lte-pretrained", state, meta=meta)
+    return save_checkpoint(path, "lte-pretrained", state,
+                           meta=_meta_with_provenance(meta, lte))
 
 
 def load_pretrained(path, lte):
@@ -159,7 +192,8 @@ def save_session(path, session, meta=None):
     """Checkpoint one :class:`~repro.core.ExplorationSession`."""
     state = {"identity": _lte_identity(session.lte),
              "session": session.state_dict()}
-    return save_checkpoint(path, "exploration-session", state, meta=meta)
+    return save_checkpoint(path, "exploration-session", state,
+                           meta=_meta_with_provenance(meta, session.lte))
 
 
 def load_session(path, lte):
@@ -189,7 +223,8 @@ def save_manager(path, manager, meta=None):
     """Checkpoint a full :class:`~repro.serve.SessionManager` snapshot."""
     state = {"identity": _lte_identity(manager.lte),
              "snapshot": manager.snapshot()}
-    return save_checkpoint(path, "session-manager", state, meta=meta)
+    return save_checkpoint(path, "session-manager", state,
+                           meta=_meta_with_provenance(meta, manager.lte))
 
 
 def load_manager(path, lte):

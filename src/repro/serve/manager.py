@@ -294,9 +294,15 @@ class SessionManager:
     # ------------------------------------------------------------------
     # Stage 3: cached, batched prediction
     # ------------------------------------------------------------------
-    def _subspace_artifacts(self, subspace, state, points):
-        """(digest, scaled, encoded) for subspace points, encode-cached."""
-        digest = rows_digest(points)
+    def _subspace_artifacts(self, subspace, state, points, digest=None):
+        """(digest, scaled, encoded) for subspace points, encode-cached.
+
+        ``digest`` short-circuits the content hash when the caller
+        already has a stable identity for the points (the store path
+        passes the chunk digest, so repeated scans never re-hash bytes).
+        """
+        if digest is None:
+            digest = rows_digest(points)
         key = (tuple(subspace.names), digest)
         artifacts = self._encoded_rows.get(key)
         if artifacts is None:
@@ -305,7 +311,7 @@ class SessionManager:
             self._encoded_rows.put(key, artifacts)
         return (digest,) + artifacts
 
-    def _predict_group(self, subspace, points, per_session):
+    def _predict_group(self, subspace, points, per_session, digest=None):
         """Predict one subspace's points for many sessions at once.
 
         ``per_session`` maps session_id -> _SubspaceSession.  Cache hits
@@ -316,7 +322,7 @@ class SessionManager:
         """
         state = next(iter(per_session.values())).state
         digest, scaled, encoded = self._subspace_artifacts(
-            subspace, state, points)
+            subspace, state, points, digest=digest)
         out, misses = {}, {}
         for session_id, subsession in per_session.items():
             key = self.cache.key(session_id, subspace,
@@ -370,8 +376,12 @@ class SessionManager:
         The fused counterpart of calling :meth:`predict` per session:
         rows are projected and encoded once per subspace, and all
         sessions' classifiers score them in stacked forward passes.
-        Returns ``{session_id: (n,) predictions}``.
+        Returns ``{session_id: (n,) predictions}``.  ``rows`` may be a
+        :class:`~repro.store.ChunkStore` (chunk-wise, zone-map-pruned,
+        per-chunk-cached evaluation via :meth:`predict_many_store`).
         """
+        if hasattr(rows, "iter_chunks"):
+            return self.predict_many_store(session_ids, rows)
         with self._lock:
             self.flush()
             rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
@@ -393,6 +403,72 @@ class SessionManager:
                     results[sid] &= predictions
             return results
 
+    def predict_many_store(self, session_ids, store):
+        """0/1 UIR membership over a chunk store for many sessions.
+
+        The out-of-core counterpart of :meth:`predict_many`, evaluated
+        chunk-at-a-time so resident memory is bounded by the chunk size:
+
+        * **zone-map pruning** — chunks a session's few-shot subregions
+          cannot overlap (conservative raw-space bounding boxes through
+          the subspace scaler) are skipped for that session entirely;
+          the Meta* refinement would demote every positive there anyway,
+          so skipped chunks are all-zero bit-identically;
+        * **per-chunk result caching** — the prediction cache is keyed
+          by the store's precomputed chunk digests, so a repeated scan
+          over an unchanged model serves every chunk from cache without
+          re-reading, re-encoding or re-hashing its bytes;
+        * shared work — all sessions surviving a chunk score it in the
+          same stacked forward passes as :meth:`predict_many`.
+
+        Returns ``{session_id: (n_rows,) predictions}``.
+        """
+        from ..store.scan import session_chunk_keep
+
+        with self._lock:
+            self.flush()
+            sessions = {sid: self.session(sid) for sid in session_ids}
+            groups = {}
+            for sid, session in sessions.items():
+                for subspace, subsession in session._subsessions.items():
+                    if subsession.adapted is None:
+                        raise RuntimeError(
+                            "labels not yet submitted for subspace {}"
+                            .format(subspace))
+                    groups.setdefault(subspace, {})[sid] = subsession
+            session_keep = {
+                sid: session_chunk_keep(store, session._subsessions)
+                for sid, session in sessions.items()}
+            results = {sid: np.zeros(store.n_rows, dtype=np.int64)
+                       for sid in sessions}
+            for ci in range(store.n_chunks):
+                live = [sid for sid in sessions if session_keep[sid][ci]]
+                if not live:
+                    continue
+                block = store.chunk(ci)
+                start = int(store.offsets[ci])
+                digest = store.chunk_digest(ci)
+                out = {sid: np.ones(len(block), dtype=np.int64)
+                       for sid in live}
+                for subspace, per_session in groups.items():
+                    active = {sid: ss for sid, ss in per_session.items()
+                              if sid in out}
+                    if not active:
+                        continue
+                    projected = np.ascontiguousarray(
+                        block[:, list(subspace.columns)])
+                    for sid, predictions in self._predict_group(
+                            subspace, projected, active,
+                            digest=digest).items():
+                        out[sid] &= predictions
+                for sid, predictions in out.items():
+                    results[sid][start:start + len(block)] = predictions
+            return results
+
+    def predict_store(self, session_id, store):
+        """Chunk-pruned, per-chunk-cached UIR membership over a store."""
+        return self.predict_many_store([session_id], store)[session_id]
+
     def predict(self, session_id, rows):
         """Cached 0/1 UIR membership for full-space rows (conjunctive)."""
         return self.predict_many([session_id], rows)[session_id]
@@ -400,7 +476,14 @@ class SessionManager:
     def retrieve(self, session_id, rows=None, limit=None):
         """Rows predicted interesting for the session (cached)."""
         if rows is None:
-            rows = self.lte.table.data
+            rows = self.lte.table if hasattr(self.lte.table, "iter_chunks") \
+                else self.lte.table.data
+        if hasattr(rows, "iter_chunks"):
+            indices = np.flatnonzero(
+                self.predict_store(session_id, rows) == 1)
+            if limit is not None:
+                indices = indices[:int(limit)]
+            return rows.take(indices)
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
         mask = self.predict(session_id, rows) == 1
         result = rows[mask]

@@ -1,0 +1,48 @@
+"""Shared fixtures for the store tests: one tiny trained LTE system."""
+
+import pytest
+
+from repro.core import LTE, LTEConfig
+from repro.core.meta_training import MetaHyperParams
+from repro.data import make_car
+from repro.data.subspaces import random_decomposition
+
+
+@pytest.fixture(scope="session")
+def store_config():
+    return LTEConfig(budget=20, ku=20, kq=25, n_tasks=5,
+                     meta=MetaHyperParams(epochs=1, local_steps=2,
+                                          batch_size=3, pretrain_epochs=1),
+                     basic_steps=10, online_steps=3,
+                     store_sample_rows=2000)
+
+
+@pytest.fixture(scope="session")
+def store_table():
+    return make_car(n_rows=1800, seed=41)
+
+
+@pytest.fixture(scope="session")
+def store_subspaces(store_table, store_config):
+    return random_decomposition(store_table,
+                                dim=store_config.subspace_dim,
+                                seed=store_config.seed)[:2]
+
+
+@pytest.fixture(scope="session")
+def store_lte(store_table, store_config, store_subspaces):
+    lte = LTE(store_config)
+    lte.fit_offline(store_table, subspaces=store_subspaces)
+    return lte
+
+
+@pytest.fixture(scope="session")
+def make_oracle(store_lte, store_subspaces):
+    from repro.bench.workloads import convex_oracles
+
+    def build(seed=5, count=1):
+        oracles = convex_oracles(store_lte, store_subspaces, count,
+                                 psi_choices=(12, 10), seed=seed)
+        return oracles if count > 1 else oracles[0]
+
+    return build

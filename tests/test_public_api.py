@@ -6,7 +6,7 @@ import pytest
 
 PACKAGES = ["repro", "repro.nn", "repro.ml", "repro.geometry", "repro.data",
             "repro.core", "repro.baselines", "repro.explore", "repro.bench",
-            "repro.serve", "repro.persist"]
+            "repro.serve", "repro.persist", "repro.store"]
 
 
 @pytest.mark.parametrize("name", PACKAGES)
@@ -31,7 +31,7 @@ def test_persist_exports():
                 "save_checkpoint", "load_checkpoint", "inspect_checkpoint",
                 "save_pretrained", "load_pretrained",
                 "save_session", "load_session",
-                "save_manager", "load_manager"}
+                "save_manager", "load_manager", "dataset_provenance"}
     assert expected == set(persist.__all__)
     assert issubclass(persist.CheckpointError, RuntimeError)
     assert isinstance(persist.SCHEMA_VERSION, int)
