@@ -8,8 +8,15 @@ Runs the full pipeline of the paper in under a minute:
    meta-learners fast-adapt; the few-shot optimizer polishes the result;
 3. report the F1-score of the inferred user-interest region.
 
-Run:  python examples/quickstart.py
+The offline phase runs on the pooled batched engine (``repro.train``):
+meta-tasks from all subspaces train in fused stacked programs, epochs
+interleaved round-robin.  Pass ``--verbose`` to watch the per-epoch mean
+query loss of every subspace as it trains.
+
+Run:  python examples/quickstart.py [--verbose]
 """
+
+import argparse
 
 import numpy as np
 
@@ -20,7 +27,7 @@ from repro.data import make_sdss
 from repro.explore import ConjunctiveOracle, run_lte_exploration
 
 
-def main():
+def main(verbose=False):
     print("Building a synthetic SDSS table (20K tuples, 8 attributes)...")
     table = make_sdss(n_rows=20_000, seed=7)
 
@@ -31,7 +38,14 @@ def main():
     )
     lte = LTE(config)
     print("Offline phase: meta-training one learner per 2-D subspace...")
-    lte.fit_offline(table)
+
+    def progress(subspace, stage):
+        if isinstance(stage, tuple) and stage[0] == "epoch":
+            _, epoch, mean_loss = stage
+            print("    {}  epoch {}  mean query loss {:.4f}".format(
+                "x".join(subspace.names), epoch, mean_loss))
+
+    lte.fit_offline(table, progress=progress if verbose else None)
     print("  done in {:.1f}s over {} subspaces".format(
         lte.offline_seconds_, len(lte.states)))
 
@@ -74,4 +88,8 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-subspace, per-epoch mean query "
+                             "losses during offline meta-training")
+    main(verbose=parser.parse_args().verbose)

@@ -150,7 +150,8 @@ class LTE:
     # ------------------------------------------------------------------
     # Offline phase
     # ------------------------------------------------------------------
-    def fit_offline(self, table, subspaces=None, train=True, progress=None):
+    def fit_offline(self, table, subspaces=None, train=True, progress=None,
+                    engine=None, checkpoint=None):
         """Run the full offline phase on an exploratory table.
 
         Parameters
@@ -164,23 +165,45 @@ class LTE:
             When False, stop after preprocessing + meta-task generation
             (used by benches that time the stages separately).
         progress:
-            Optional callback ``(subspace, stage)``.
+            Optional callback ``(subspace, stage)``.  ``stage`` is
+            ``"prepared"`` after a subspace's offline artifacts are
+            built, ``("pretrain", epoch_index)`` after each of its joint
+            pretraining epochs, ``("epoch", epoch_index,
+            mean_query_loss)`` after each of its meta-training epochs,
+            and ``"trained"`` once its meta-learner is done.
+        engine:
+            ``"batched"`` (default) meta-trains all subspaces pooled —
+            epochs interleaved round-robin, shape-compatible meta-tasks
+            from *all* subspaces fused into shared stacked programs
+            (:mod:`repro.train`); ``"sequential"`` runs the
+            task-at-a-time reference executor.  Both produce
+            bit-identical trainers.
+        checkpoint:
+            Optional directory for epoch-granular resumable pretraining
+            checkpoints: the run saves trainer weights, memories, RNG
+            state and per-subspace epoch cursors after every epoch, and
+            a later ``fit_offline`` call pointed at the same directory
+            (same table, config and decomposition) resumes from the last
+            completed epoch — converging to the identical phi bit for
+            bit.
         """
         cfg = self.config
         self.table = table
         if subspaces is None:
             subspaces = random_decomposition(table, dim=cfg.subspace_dim,
                                              seed=cfg.seed)
+        # Materialize: the list is walked twice (prepare, then train).
+        subspaces = list(subspaces)
         start = time.perf_counter()
         for i, subspace in enumerate(subspaces):
             state = self._prepare_subspace(table, subspace, index=i)
             self.states[subspace] = state
             if progress is not None:
                 progress(subspace, "prepared")
-            if train:
-                self.train_subspace(subspace)
-                if progress is not None:
-                    progress(subspace, "trained")
+        if train:
+            from ..train.offline import run_offline_training
+            run_offline_training(self, subspaces, engine=engine,
+                                 progress=progress, checkpoint=checkpoint)
         self.offline_seconds_ = time.perf_counter() - start
         return self
 
@@ -294,16 +317,25 @@ class LTE:
                             .format(path))
         return system
 
-    def train_subspace(self, subspace, n_tasks=None, epochs=None):
+    def build_trainer(self, state):
+        """Fresh (untrained) meta-learner for one prepared subspace —
+        the single construction point shared by :meth:`train_subspace`
+        and the pooled offline engine."""
+        cfg = self.config
+        return MetaTrainer(
+            ku=state.summary.ku, input_width=state.preprocessor.width,
+            embed_size=cfg.embed_size, hidden_size=cfg.hidden_size,
+            params=cfg.meta, use_memories=cfg.use_memories, seed=cfg.seed)
+
+    def train_subspace(self, subspace, n_tasks=None, epochs=None,
+                       engine=None):
         """Generate meta-tasks and meta-train the subspace's learner."""
         cfg = self.config
         state = self.states[subspace]
         tasks = state.task_generator.generate(n_tasks or cfg.n_tasks)
-        trainer = MetaTrainer(
-            ku=state.summary.ku, input_width=state.preprocessor.width,
-            embed_size=cfg.embed_size, hidden_size=cfg.hidden_size,
-            params=cfg.meta, use_memories=cfg.use_memories, seed=cfg.seed)
-        trainer.train(tasks, state.encode_scaled, epochs=epochs)
+        trainer = self.build_trainer(state)
+        trainer.train(tasks, state.encode_scaled, epochs=epochs,
+                      engine=engine)
         state.trainer = trainer
         return trainer
 

@@ -17,6 +17,22 @@ phi_clf} (held in a template :class:`UISClassifier`) and the two
 The same local phase doubles as the *online adaptation* (the underlined
 steps of Algorithm 2): :meth:`MetaTrainer.adapt` is called with real user
 labels instead of a simulated support set.
+
+**Batched execution.**  Meta-tasks inside one Eq. 13 batch are mutually
+independent, so :meth:`MetaTrainer.train` runs the whole batch's local
+phase as ONE stacked autograd program over ``(K, ...)`` parameter stacks
+and computes all K query losses in one fused forward/backward
+(:mod:`repro.train.engine`, built on :mod:`repro.nn.batching` — the same
+substrate the online serving path uses).  **Eq. 13 semantics are
+unchanged**: the fused global phase accumulates exactly the per-task
+query gradients the sequential executor accumulates, in the same task
+order, and applies the same averaged step to phi.  The memory EMA
+updates (Eqs. 14-16) are applied *after* the batch's global phase, in
+the original task order — i.e. every retrieval inside a batch reads the
+memories as they stood at the start of that batch.  The sequential
+executor (``engine="sequential"``) implements the identical batch
+semantics one task at a time, and the two engines are bit-identical
+(property-fuzzed in ``tests/train``).
 """
 
 from __future__ import annotations
@@ -148,6 +164,28 @@ class MetaTrainer:
     # ------------------------------------------------------------------
     # Local phase (shared by offline training and online adaptation)
     # ------------------------------------------------------------------
+    def task_retrieval(self, feature_vector):
+        """Task-wise initialization of a working copy (Eqs. 6, 10, 11).
+
+        Returns ``(local_model, conversion_matrix | None,
+        attention | None)``: a clone of phi with the memory-retrieved
+        theta_R shift applied and the retrieved conversion matrix, read
+        from the *current* memory state.  Shared verbatim by the
+        sequential :meth:`adapt` and the fused batched engine so both
+        start every task from identical bits.
+        """
+        feature_vector = np.asarray(feature_vector, dtype=np.float64)
+        local = self.model.clone(seed=self.seed)
+        conversion = None
+        attention = None
+        if self.use_memories:
+            attention = self.memories.attention(feature_vector)
+            omega = self.memories.omega_r(attention)
+            local.set_theta_r_flat(
+                local.get_theta_r_flat() - self.params.sigma * omega)
+            conversion = self.memories.conversion(attention)
+        return local, conversion, attention
+
     def adapt(self, feature_vector, support_x, support_y, local_steps=None,
               local_lr=None):
         """Fast-adapt a copy of the meta-learner to one task.
@@ -174,15 +212,9 @@ class MetaTrainer:
         support_x = np.atleast_2d(np.asarray(support_x, dtype=np.float64))
         support_y = np.asarray(support_y, dtype=np.float64).ravel()
 
-        local = self.model.clone(seed=self.seed)
-        conversion = None
-        attention = None
-        if self.use_memories:
-            attention = self.memories.attention(feature_vector)
-            omega = self.memories.omega_r(attention)
-            local.set_theta_r_flat(
-                local.get_theta_r_flat() - params.sigma * omega)
-            conversion = Parameter(self.memories.conversion(attention))
+        local, conversion, attention = self.task_retrieval(feature_vector)
+        if conversion is not None:
+            conversion = Parameter(conversion)
 
         trainable = list(local.parameters())
         if conversion is not None:
@@ -221,7 +253,7 @@ class MetaTrainer:
     # ------------------------------------------------------------------
     # Offline meta-training
     # ------------------------------------------------------------------
-    def train(self, tasks, encode, epochs=None, progress=None):
+    def train(self, tasks, encode, epochs=None, progress=None, engine=None):
         """Run Algorithm 2 over a meta-task set.
 
         Parameters
@@ -235,88 +267,107 @@ class MetaTrainer:
             Override for ``params.epochs``.
         progress:
             Optional callback ``(epoch, mean_query_loss)``.
+        engine:
+            ``"batched"`` (default) fuses every meta-batch's local and
+            global phase into one stacked autograd program;
+            ``"sequential"`` is the task-at-a-time reference executor.
+            The two are bit-identical (see the module docstring).
         """
-        params = self.params
-        n_epochs = params.epochs if epochs is None else int(epochs)
-        rng = np.random.default_rng(self.seed)
+        from ..train.engine import encode_task_sets
+        from ..train.offline import OfflineRun, TrainerSchedule
+
         # Pre-encode once: representation vectors are training-invariant.
-        encoded = [(task.feature_vector,
-                    encode(task.support_x), task.support_y,
-                    encode(task.query_x), task.query_y)
-                   for task in tasks]
+        encoded = encode_task_sets(tasks, encode)
+        schedule = TrainerSchedule(self, encoded, epochs=epochs)
 
-        self._joint_pretrain(encoded, rng)
-
-        phi_params = dict(self.model.named_parameters())
-        for epoch in range(n_epochs):
-            order = rng.permutation(len(encoded))
-            epoch_losses = []
-            for start in range(0, len(order), params.batch_size):
-                batch = order[start:start + params.batch_size]
-                accum = {name: np.zeros_like(p.data)
-                         for name, p in phi_params.items()}
-                for task_idx in batch:
-                    v_r, sx, sy, qx, qy = encoded[task_idx]
-                    adapted, info = self.adapt(v_r, sx, sy)
-                    local = adapted.model
-                    # Global phase: query loss through adapted parameters
-                    # (first-order meta-gradient).
-                    local.zero_grad()
-                    if adapted.conversion is not None:
-                        adapted.conversion.zero_grad()
-                    logits = local.forward(
-                        v_r, qx, conversion=adapted.conversion)
-                    query_pos_weight = balanced_pos_weight(qy) \
-                        if params.balance_classes else None
-                    query_loss = binary_cross_entropy_with_logits(
-                        logits, qy, pos_weight=query_pos_weight)
-                    query_loss.backward()
-                    epoch_losses.append(query_loss.item())
-                    for name, local_param in local.named_parameters():
-                        if local_param.grad is not None:
-                            accum[name] += local_param.grad
-                    if self.use_memories:
-                        self._update_memories(v_r, info, adapted)
-                # Eq. 13: one aggregated step on phi.  The accumulated
-                # gradient is averaged over the batch so the step size is
-                # invariant to batch_size.
-                scale = params.lam / max(1, len(batch))
-                for name, phi in phi_params.items():
-                    phi.data = phi.data - scale * accum[name]
-            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
-            self.history.append(mean_loss)
-            if progress is not None:
+        def on_epoch(_schedule, kind, epoch, mean_loss):
+            if kind == "meta" and progress is not None:
                 progress(epoch, mean_loss)
+
+        OfflineRun([schedule], engine=engine, on_epoch=on_epoch).run()
         return self
 
-    def _joint_pretrain(self, encoded, rng):
-        """Multi-task pretraining of phi on the meta-tasks' labelled sets.
+    def pretrain_conversion(self):
+        """Fixed averaging conversion used throughout joint pretraining.
 
-        Uses a fixed averaging conversion for the memory variant so the
-        pretrained phi is consistent with the conversion memory's
-        initialization.
+        The memory variant pretrains phi against ``[I | I | I] / 3`` so
+        the pretrained weights are consistent with the conversion
+        memory's near-averaging initialization; the memory-less variant
+        uses none.
+        """
+        if not self.use_memories:
+            return None
+        ne = self.model.embed_size
+        return np.hstack([np.eye(ne)] * 3) / 3.0
+
+    def pretrain_step(self, optimizer, conversion, feature_vector, x, y):
+        """One task of joint multi-task pretraining: a single Adam step
+        of the *unadapted* meta-learner's loss on the task's labelled
+        tuples (support + query pooled).
+
+        Joint pretraining minimizes the query loss of phi itself across
+        all meta-tasks before the MAML loop; at the reproduction's task
+        counts this supplies the bulk of the zero-shot quality that the
+        paper obtains from |TM|=5000 tasks of pure meta-gradients (set
+        ``pretrain_epochs=0`` for the literal Algorithm 2).  Unlike the
+        meta-batches, consecutive steps share phi, so the *task* loop is
+        inherently sequential — the pooled offline engine instead fuses
+        this step across meta-subspaces (:mod:`repro.train.engine`).
+        """
+        pos_weight = balanced_pos_weight(y) \
+            if self.params.balance_classes else None
+        optimizer.zero_grad()
+        logits = self.model.forward(feature_vector, x, conversion=conversion)
+        loss = binary_cross_entropy_with_logits(
+            logits, y, pos_weight=pos_weight)
+        loss.backward()
+        optimizer.step()
+
+    def train_batch_sequential(self, encoded, batch):
+        """One Eq. 12/13 meta-batch on the sequential reference executor.
+
+        Adapts every task of the batch from the batch-start memory
+        state, backpropagates each query loss, applies the deferred
+        memory EMA updates (Eqs. 14-16) in task order and takes the one
+        aggregated Eq. 13 step on phi.  Returns the per-task query
+        losses in task order.
         """
         params = self.params
-        if params.pretrain_epochs < 1:
-            return
-        conversion = None
-        if self.use_memories:
-            ne = self.model.embed_size
-            conversion = np.hstack([np.eye(ne)] * 3) / 3.0
-        optimizer = Adam(self.model.parameters(), lr=params.pretrain_lr)
-        for _ in range(params.pretrain_epochs):
-            for idx in rng.permutation(len(encoded)):
-                v_r, sx, sy, qx, qy = encoded[idx]
-                x = np.vstack([sx, qx])
-                y = np.concatenate([sy, qy]).astype(np.float64)
-                pos_weight = balanced_pos_weight(y) \
-                    if params.balance_classes else None
-                optimizer.zero_grad()
-                logits = self.model.forward(v_r, x, conversion=conversion)
-                loss = binary_cross_entropy_with_logits(
-                    logits, y, pos_weight=pos_weight)
-                loss.backward()
-                optimizer.step()
+        phi_params = dict(self.model.named_parameters())
+        accum = {name: np.zeros_like(p.data)
+                 for name, p in phi_params.items()}
+        memory_updates = []
+        losses = []
+        for task_idx in batch:
+            v_r, sx, sy, qx, qy = encoded[task_idx]
+            adapted, info = self.adapt(v_r, sx, sy)
+            local = adapted.model
+            # Global phase: query loss through adapted parameters
+            # (first-order meta-gradient).
+            local.zero_grad()
+            if adapted.conversion is not None:
+                adapted.conversion.zero_grad()
+            logits = local.forward(v_r, qx, conversion=adapted.conversion)
+            query_pos_weight = balanced_pos_weight(qy) \
+                if params.balance_classes else None
+            query_loss = binary_cross_entropy_with_logits(
+                logits, qy, pos_weight=query_pos_weight)
+            query_loss.backward()
+            losses.append(query_loss.item())
+            for name, local_param in local.named_parameters():
+                if local_param.grad is not None:
+                    accum[name] += local_param.grad
+            if self.use_memories:
+                memory_updates.append((v_r, info, adapted))
+        for v_r, info, adapted in memory_updates:
+            self._update_memories(v_r, info, adapted)
+        # Eq. 13: one aggregated step on phi.  The accumulated gradient
+        # is averaged over the batch so the step size is invariant to
+        # batch_size.
+        scale = params.lam / max(1, len(batch))
+        for name, phi in phi_params.items():
+            phi.data = phi.data - scale * accum[name]
+        return losses
 
     def _update_memories(self, feature_vector, info, adapted):
         params = self.params
@@ -391,8 +442,19 @@ class MetaTrainer:
         return cls.from_state_dict(state)
 
     # ------------------------------------------------------------------
-    def evaluate(self, tasks, encode, local_steps=None):
-        """Mean query-set accuracy after adaptation (diagnostic)."""
+    def evaluate(self, tasks, encode, local_steps=None, engine=None):
+        """Mean query-set accuracy after adaptation (diagnostic).
+
+        ``engine="batched"`` (default) adapts and scores every task in
+        one stacked program per shape bucket; ``"sequential"`` re-runs
+        :meth:`adapt` per task.  Both produce identical predictions.
+        """
+        from ..train.offline import check_engine
+
+        if check_engine(engine) == "batched":
+            from ..train.engine import evaluate_batched
+            return evaluate_batched(self, tasks, encode,
+                                    local_steps=local_steps)
         scores = []
         for task in tasks:
             adapted, _ = self.adapt(task.feature_vector,

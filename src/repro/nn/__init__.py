@@ -6,6 +6,9 @@ learning framework dependency.  See DESIGN.md section 2.
 """
 
 from . import functional, init
+from .batching import (BatchedUISClassifier, fused_local_adapt, grad_stacks,
+                       load_flat_stack, stack_conversions, stacked_predict,
+                       theta_r_grad_stack)
 from .layers import (MLP, BatchedLinear, Linear, Module, ReLU, Sequential,
                      Sigmoid, batch_modules, unstack_modules)
 from .optim import Adam, Optimizer, SGD
@@ -15,6 +18,8 @@ __all__ = [
     "Tensor", "Parameter", "no_grad",
     "Module", "Linear", "ReLU", "Sigmoid", "Sequential", "MLP",
     "BatchedLinear", "batch_modules", "unstack_modules",
+    "BatchedUISClassifier", "fused_local_adapt", "stack_conversions",
+    "load_flat_stack", "theta_r_grad_stack", "grad_stacks", "stacked_predict",
     "Optimizer", "SGD", "Adam",
     "functional", "init",
 ]

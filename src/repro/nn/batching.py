@@ -1,0 +1,265 @@
+"""Shared task-stacking substrate for fused multi-task training.
+
+One few-shot UIS-classifier task is far too small to saturate anything —
+its cost is Python/autograd overhead.  Both the *online* serving hot path
+(:mod:`repro.serve.batched`) and the *offline* meta-training engine
+(:mod:`repro.train.engine`) therefore stack K structurally identical
+tasks into fused ``(K, ...)`` tensors and train them as ONE autograd
+program.  This module is the shared substrate both layers build on:
+
+* :class:`BatchedUISClassifier` — K per-task classifier copies fused
+  into stacked :class:`~repro.nn.BatchedLinear` blocks, mirroring
+  ``UISClassifier.forward`` over a leading batch axis;
+* :func:`fused_local_adapt` — the fused few-shot optimization loop
+  (per-task-reduced BCE + pos-weight, one Adam/SGD over the stacks);
+* :func:`theta_r_grad_stack` / :func:`grad_stacks` — per-task gradient
+  slices out of the stacked parameters, in the exact layout of the
+  corresponding per-task model (the meta-training global phase and the
+  memory EMA updates consume these);
+* :func:`stacked_predict` — fused no-grad 0/1 predictions.
+
+Because the stacked computation is block-diagonal across tasks, every
+task receives exactly the gradients and optimizer updates the sequential
+path would give it — bit for bit.  The parity suites in ``tests/serve``
+and ``tests/train`` verify this end to end.
+
+The module is deliberately duck-typed: it touches only the
+``uis_block`` / ``tuple_block`` / ``clf_block`` / ``config`` surface of
+the models it stacks, so :mod:`repro.nn` does not import
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import (batched_binary_cross_entropy_with_logits,
+                         batched_pos_weight)
+from .layers import Module, batch_modules, unstack_modules
+from .optim import Adam, SGD
+from .tensor import Parameter, Tensor, no_grad
+
+__all__ = ["BatchedUISClassifier", "fused_local_adapt", "stack_conversions",
+           "load_flat_stack", "theta_r_grad_stack", "grad_stacks",
+           "stacked_predict"]
+
+
+class BatchedUISClassifier(Module):
+    """K structurally identical UIS classifiers fused into stacked blocks.
+
+    Mirrors ``UISClassifier.forward`` over a leading batch axis:
+    features (K, ku) and tuples (K, n, width) map to logits (K, n).
+    Built from per-task model instances (whose parameters seed the
+    stacks) and unstacked back into them after training.
+    """
+
+    def __init__(self, models):
+        super().__init__()
+        first = models[0]
+        for model in models:
+            if model.config != first.config:
+                raise ValueError("cannot batch UISClassifiers of mixed "
+                                 "configuration")
+        self.k = len(models)
+        self.ku = first.ku
+        self.embed_size = first.embed_size
+        self.use_conversion = first.use_conversion
+        self.uis_block = batch_modules([m.uis_block for m in models])
+        self.tuple_block = batch_modules([m.tuple_block for m in models])
+        self.clf_block = batch_modules([m.clf_block for m in models])
+
+    def unstack_into(self, models):
+        """Copy the adapted per-slice parameters back into K models."""
+        unstack_modules(self.uis_block, [m.uis_block for m in models])
+        unstack_modules(self.tuple_block, [m.tuple_block for m in models])
+        unstack_modules(self.clf_block, [m.clf_block for m in models])
+
+    def forward(self, feature_vectors, tuple_vectors, conversion=None):
+        """Stacked interestingness logits.
+
+        Parameters
+        ----------
+        feature_vectors:
+            (K, ku) UIS feature vectors, one per task.
+        tuple_vectors:
+            (K, n, input_width) preprocessed tuple batches.
+        conversion:
+            Optional (K, Ne, 3Ne) stacked conversion matrices.
+
+        Returns
+        -------
+        Tensor of shape (K, n) with raw logits.
+        """
+        if self.use_conversion and conversion is None:
+            raise ValueError("use_conversion=True requires conversion")
+        if not self.use_conversion and conversion is not None:
+            raise ValueError("conversion given but use_conversion=False")
+        v_r = Tensor._wrap(feature_vectors)
+        x = Tensor._wrap(tuple_vectors)
+        n = x.shape[1]
+
+        emb_r = self.uis_block(v_r.reshape(self.k, 1, self.ku))  # (K, 1, Ne)
+        emb_x = self.tuple_block(x)                              # (K, n, Ne)
+        # Differentiable broadcast of each task's emb_R to its n rows —
+        # same tiler trick as the sequential forward, batched by numpy's
+        # matmul broadcasting: (n, 1) @ (K, 1, Ne) -> (K, n, Ne).
+        tiler = Tensor(np.ones((n, 1)))
+        emb_r_rows = tiler @ emb_r
+        interaction = emb_r_rows * emb_x
+        combined = Tensor.concat([emb_r_rows, emb_x, interaction],
+                                 axis=-1)                        # (K, n, 3Ne)
+        if conversion is not None:
+            conversion = Tensor._wrap(conversion)
+            combined = combined @ conversion.swapaxes(-1, -2)    # (K, n, Ne)
+        logits = self.clf_block(combined)                        # (K, n, 1)
+        return logits.reshape(self.k, n)
+
+
+def stack_conversions(conversions):
+    """Stack per-task conversion matrices into one (K, Ne, 3Ne) Parameter.
+
+    ``conversions`` may be ``None`` or a list of matrices; a list must be
+    all-``None`` (returns ``None``) or all-present — mixed tasks cannot
+    share one fused program.
+    """
+    if conversions is None:
+        return None
+    present = [c is not None for c in conversions]
+    if not any(present):
+        return None
+    if not all(present):
+        raise ValueError("cannot fuse tasks with and without conversion "
+                         "matrices into one program")
+    return Parameter(np.stack(conversions))
+
+
+def load_flat_stack(module, flat_stack):
+    """Write (K, S) per-slice flat parameter vectors into a batched module.
+
+    The inverse relationship to ``Module.load_flat_parameters`` applied
+    slice-wise: row k lands in slice k of every stacked parameter, in
+    declaration order — so stacking K flat vectors produced by the
+    per-task rule gives every slice exactly the parameters the per-task
+    ``load_flat_parameters`` would.
+    """
+    flat_stack = np.asarray(flat_stack, dtype=np.float64)
+    k = flat_stack.shape[0]
+    offset = 0
+    for param in module.parameters():
+        if param.data.shape[0] != k:
+            raise ValueError("parameter stack height {} != {} rows".format(
+                param.data.shape[0], k))
+        size = param.size // k
+        param.copy_(flat_stack[:, offset:offset + size].reshape(
+            param.data.shape))
+        offset += size
+    if offset != flat_stack.shape[1]:
+        raise ValueError("flat stack width mismatch: {} != {}".format(
+            flat_stack.shape[1], offset))
+
+
+def fused_local_adapt(models, features, xs, ys, *, conversions=None,
+                      steps=1, lr=0.01, optimizer_kind="adam",
+                      balance_classes=True, batched=None):
+    """Fused few-shot optimization of K stacked tasks (the local phase).
+
+    Stacks ``models`` (and their task-wise conversion matrices, if any)
+    and runs ``steps`` iterations of per-task-reduced BCE descent: the
+    loss is the *sum of per-task mean losses*, which is block-diagonal,
+    so each task's parameters see exactly their own sequential gradient
+    and one Adam/SGD instance updates all K tasks at once.
+
+    Parameters
+    ----------
+    models:
+        K per-task classifier instances (already task-wise initialized);
+        their parameters seed the stacks and are **not** written back —
+        call ``batched.unstack_into(models)`` for that.
+    features / xs / ys:
+        (K, ku) feature vectors, (K, n, width) labelled tuples, (K, n)
+        0/1 targets.
+    conversions:
+        Optional per-task (Ne, 3Ne) matrices (see
+        :func:`stack_conversions`), or an already stacked (K, Ne, 3Ne)
+        array.
+    batched:
+        Optional pre-built :class:`BatchedUISClassifier` whose stacks
+        already hold the task-wise initializations (``models`` is then
+        ignored); the offline engine uses this to stack straight off the
+        meta-learned template without constructing K model copies.
+
+    Returns
+    -------
+    ``(batched, conversion)`` — the trained
+    :class:`BatchedUISClassifier` and the stacked conversion
+    :class:`Parameter` (or ``None``).  The gradients of the *last* step
+    are left on the parameters so callers can slice them
+    (:func:`theta_r_grad_stack`) before reusing the stacks.
+    """
+    if batched is None:
+        batched = BatchedUISClassifier(models)
+    if isinstance(conversions, np.ndarray):
+        conversion = Parameter(conversions)
+    else:
+        conversion = stack_conversions(conversions)
+
+    features = np.asarray(features, dtype=np.float64)
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    pos_weight = batched_pos_weight(ys) if balance_classes else None
+
+    trainable = list(batched.parameters())
+    if conversion is not None:
+        trainable.append(conversion)
+    if optimizer_kind == "adam":
+        optimizer = Adam(trainable, lr=lr)
+    else:
+        optimizer = SGD(trainable, lr=lr)
+
+    for _ in range(steps):
+        optimizer.zero_grad()
+        logits = batched.forward(features, xs, conversion=conversion)
+        # Sum of per-task mean losses: block-diagonal, so each task's
+        # parameters see exactly their own sequential gradient.
+        loss = batched_binary_cross_entropy_with_logits(
+            logits, ys, pos_weight=pos_weight).sum()
+        loss.backward()
+        optimizer.step()
+    return batched, conversion
+
+
+def theta_r_grad_stack(batched):
+    """Per-task flattened UIS-block gradients, shape (K, theta_r_size).
+
+    Slice k matches the ``theta_r_grad`` the sequential
+    ``MetaTrainer.adapt`` reports for task k: each parameter's gradient
+    raveled in declaration order, missing gradients as zeros.
+    """
+    k = batched.k
+    parts = []
+    for param in batched.uis_block.parameters():
+        if param.grad is None:
+            parts.append(np.zeros((k, param.size // k)))
+        else:
+            parts.append(np.asarray(param.grad).reshape(k, -1))
+    return np.concatenate(parts, axis=1) if parts else np.zeros((k, 0))
+
+
+def grad_stacks(batched):
+    """``{dotted_name: (K, ...) gradient}`` over the three stacked blocks.
+
+    The dotted names equal those of the per-task model
+    (``uis_block.m0.weight`` ...), so slice k reshaped to the per-task
+    parameter shape is exactly the gradient the sequential global phase
+    would accumulate for task k.
+    """
+    return {name: param.grad for name, param in batched.named_parameters()}
+
+
+def stacked_predict(batched, features, xs, conversion=None, threshold=0.5):
+    """Fused no-grad 0/1 predictions, shape (K, n)."""
+    if conversion is not None and isinstance(conversion, Parameter):
+        conversion = conversion.data
+    with no_grad():
+        logits = batched.forward(features, xs, conversion=conversion)
+    return (logits.sigmoid().numpy() >= threshold).astype(np.int64)

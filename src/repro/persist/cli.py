@@ -89,6 +89,15 @@ def _summarize_state(kind, state):
         print("  ku={} width={} memories={} epochs trained: {}".format(
             state["config"]["ku"], state["config"]["input_width"],
             state["use_memories"], len(state["history"])))
+    elif kind == "pretrain-run":
+        print("  resumable offline run over {} subspaces".format(
+            len(state["subspaces"])))
+        for entry in state["subspaces"]:
+            schedule = entry["schedule"]
+            print("    {}: pretrain {}/{}  meta {}/{}".format(
+                ",".join(entry["names"]),
+                schedule["pretrain_done"], schedule["pretrain_total"],
+                schedule["meta_done"], schedule["meta_total"]))
 
 
 def _cmd_load(args):

@@ -1,6 +1,6 @@
 """Save/load wrappers binding checkpoints to the stateful layers.
 
-Four artifact kinds cover the system's stateful layers:
+Five artifact kinds cover the system's stateful layers:
 
 ======================  ==============================================
 kind                    contents
@@ -9,6 +9,13 @@ kind                    contents
                         a fitted :class:`~repro.core.LTE` — the
                         shippable pretrained artifact
 ``meta-trainer``        one subspace's meta-learner on its own
+``pretrain-run``        an *in-flight* offline meta-training run:
+                        per-subspace trainer weights, memories, RNG
+                        state, pretrain-optimizer moments and epoch
+                        cursors (also surfaced in the manifest meta),
+                        written after every epoch so a killed
+                        ``fit_offline(checkpoint=...)`` resumes to the
+                        identical phi
 ``exploration-session`` the online state of one (resumable) session
 ``session-manager``     a full :class:`~repro.serve.SessionManager`
                         snapshot: sessions, pending queue, prediction
@@ -33,9 +40,9 @@ from ..core.framework import ExplorationSession
 from ..core.meta_training import MetaTrainer
 from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 
-__all__ = ["save_pretrained", "load_pretrained", "save_session",
-           "load_session", "save_manager", "load_manager",
-           "dataset_provenance"]
+__all__ = ["save_pretrained", "load_pretrained", "save_pretrain_run",
+           "load_pretrain_run", "save_session", "load_session",
+           "save_manager", "load_manager", "dataset_provenance"]
 
 
 def _config_fingerprint(lte):
@@ -183,6 +190,47 @@ def load_pretrained(path, lte):
                                    trainer.model.input_width, width))
         lte_state.trainer = trainer
     return info
+
+
+# ----------------------------------------------------------------------
+# Resumable (epoch-granular) offline pretraining runs
+# ----------------------------------------------------------------------
+def save_pretrain_run(path, lte, entries, meta=None):
+    """Checkpoint an in-flight offline meta-training run.
+
+    ``entries`` is ``[{"names": [...], "schedule": schedule_state}, ...]``
+    — one per subspace, in training order, where ``schedule_state`` is a
+    :meth:`repro.train.TrainerSchedule.state_dict`.  The per-subspace
+    epoch cursors are mirrored into the manifest ``meta`` (under
+    ``"epoch_cursor"``) so ``python -m repro.persist inspect`` shows
+    resume progress without decoding the arrays.  Returns the manifest.
+    """
+    meta = dict(meta or {})
+    meta["epoch_cursor"] = {
+        ",".join(entry["names"]): {
+            "pretrain": "{}/{}".format(entry["schedule"]["pretrain_done"],
+                                       entry["schedule"]["pretrain_total"]),
+            "meta": "{}/{}".format(entry["schedule"]["meta_done"],
+                                   entry["schedule"]["meta_total"]),
+        }
+        for entry in entries}
+    state = {"identity": _lte_identity(lte), "subspaces": list(entries)}
+    return save_checkpoint(path, "pretrain-run", state,
+                           meta=_meta_with_provenance(meta, lte))
+
+
+def load_pretrain_run(path, lte):
+    """Load a pretrain-run checkpoint against a prepared LTE system.
+
+    Verifies the LTE identity (same table, config) before handing back
+    the per-subspace schedule states; mismatches raise
+    :class:`CheckpointError` instead of resuming a foreign run.  Returns
+    ``(entries, info)`` in the layout :func:`save_pretrain_run` stored.
+    """
+    state, info = load_checkpoint(path, expected_kind="pretrain-run")
+    _check_identity(path, _require(state, "identity", path), lte,
+                    "pretrain-run checkpoint")
+    return _require(state, "subspaces", path), info
 
 
 # ----------------------------------------------------------------------

@@ -35,8 +35,10 @@ Modules
     :class:`SessionManager` — session lifecycle, the submit/poll/flush
     queue, and cached prediction.
 ``batched``
-    :class:`BatchedUISClassifier` and :func:`run_adapt_requests` — the
-    vectorized adaptation hot path.
+    :func:`run_adapt_requests` — the vectorized adaptation hot path,
+    built on the task-stacking substrate in :mod:`repro.nn.batching`
+    (shared with the offline meta-training engine :mod:`repro.train`);
+    re-exports :class:`~repro.nn.BatchedUISClassifier`.
 ``cache``
     :class:`PredictionCache` — (session, subspace, model-version)-keyed
     LRU memoization of prediction vectors (frozen copies: a cached

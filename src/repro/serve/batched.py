@@ -3,21 +3,22 @@
 Online adaptation of one (session, subspace) pair is a few-shot
 fine-tuning loop over a tiny :class:`~repro.core.meta_learner.UISClassifier`
 — individually far too small to saturate anything, and dominated by
-Python/autograd overhead.  This module stacks K such tasks into fused
-tensors: a :class:`BatchedUISClassifier` holds (K, ...) parameter stacks
-(via :class:`~repro.nn.BatchedLinear`), the loss reduces per task along
-the last axis, and one Adam instance updates all K tasks at once.  Because
-the tasks are independent, the stacked computation is block-diagonal:
-every task receives exactly the gradients and updates the sequential path
+Python/autograd overhead.  The stacking substrate lives in
+:mod:`repro.nn.batching` (shared with the offline meta-training engine,
+:mod:`repro.train`): a :class:`~repro.nn.BatchedUISClassifier` holds
+(K, ...) parameter stacks, the loss reduces per task along the last
+axis, and one Adam instance updates all K tasks at once.  Because the
+tasks are independent, the stacked computation is block-diagonal: every
+task receives exactly the gradients and updates the sequential path
 would give it, which the parity suite (``tests/serve``) verifies for all
 three variants.
 
-Entry point: :func:`run_adapt_requests` — takes
-:class:`~repro.core.framework.AdaptRequest` objects (any mix of variants,
-sessions and subspaces), buckets them by shape, trains each bucket fused,
-and returns per-request ``(AdaptedClassifier, FewShotOptimizer | None)``
-exactly like the sequential
-:func:`~repro.core.framework.run_adapt_request`.
+This module keeps only the *serving-specific* layer: turning
+:class:`~repro.core.framework.AdaptRequest` objects (any mix of
+variants, sessions and subspaces) into shape buckets, replaying the
+task-wise initialization (memory retrievals), and rebuilding per-request
+``(AdaptedClassifier, FewShotOptimizer | None)`` results exactly like
+the sequential :func:`~repro.core.framework.run_adapt_request`.
 """
 
 from __future__ import annotations
@@ -25,9 +26,8 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
-from ..nn.functional import (batched_binary_cross_entropy_with_logits,
-                             batched_pos_weight)
-from ..nn.tensor import Parameter, Tensor
+from ..nn.batching import BatchedUISClassifier, fused_local_adapt
+from ..nn.tensor import Parameter
 from ..core.framework import run_adapt_request
 from ..core.meta_learner import UISClassifier
 from ..core.meta_training import AdaptedClassifier
@@ -35,77 +35,6 @@ from ..core.optimizer import FewShotOptimizer
 
 __all__ = ["BatchedUISClassifier", "run_adapt_requests",
            "predict_adapted_batch"]
-
-
-class BatchedUISClassifier(nn.Module):
-    """K structurally identical UIS classifiers fused into stacked blocks.
-
-    Mirrors :meth:`UISClassifier.forward` over a leading batch axis:
-    features (K, ku) and tuples (K, n, width) map to logits (K, n).
-    Built from per-task model instances (whose parameters seed the
-    stacks) and unstacked back into them after training.
-    """
-
-    def __init__(self, models):
-        super().__init__()
-        first = models[0]
-        for model in models:
-            if model.config != first.config:
-                raise ValueError("cannot batch UISClassifiers of mixed "
-                                 "configuration")
-        self.k = len(models)
-        self.ku = first.ku
-        self.embed_size = first.embed_size
-        self.use_conversion = first.use_conversion
-        self.uis_block = nn.batch_modules([m.uis_block for m in models])
-        self.tuple_block = nn.batch_modules([m.tuple_block for m in models])
-        self.clf_block = nn.batch_modules([m.clf_block for m in models])
-
-    def unstack_into(self, models):
-        """Copy the adapted per-slice parameters back into K models."""
-        nn.unstack_modules(self.uis_block, [m.uis_block for m in models])
-        nn.unstack_modules(self.tuple_block, [m.tuple_block for m in models])
-        nn.unstack_modules(self.clf_block, [m.clf_block for m in models])
-
-    def forward(self, feature_vectors, tuple_vectors, conversion=None):
-        """Stacked interestingness logits.
-
-        Parameters
-        ----------
-        feature_vectors:
-            (K, ku) UIS feature vectors, one per task.
-        tuple_vectors:
-            (K, n, input_width) preprocessed tuple batches.
-        conversion:
-            Optional (K, Ne, 3Ne) stacked conversion matrices.
-
-        Returns
-        -------
-        Tensor of shape (K, n) with raw logits.
-        """
-        if self.use_conversion and conversion is None:
-            raise ValueError("use_conversion=True requires conversion")
-        if not self.use_conversion and conversion is not None:
-            raise ValueError("conversion given but use_conversion=False")
-        v_r = Tensor._wrap(feature_vectors)
-        x = Tensor._wrap(tuple_vectors)
-        n = x.shape[1]
-
-        emb_r = self.uis_block(v_r.reshape(self.k, 1, self.ku))  # (K, 1, Ne)
-        emb_x = self.tuple_block(x)                              # (K, n, Ne)
-        # Differentiable broadcast of each task's emb_R to its n rows —
-        # same tiler trick as the sequential forward, batched by numpy's
-        # matmul broadcasting: (n, 1) @ (K, 1, Ne) -> (K, n, Ne).
-        tiler = Tensor(np.ones((n, 1)))
-        emb_r_rows = tiler @ emb_r
-        interaction = emb_r_rows * emb_x
-        combined = Tensor.concat([emb_r_rows, emb_x, interaction],
-                                 axis=-1)                        # (K, n, 3Ne)
-        if conversion is not None:
-            conversion = Tensor._wrap(conversion)
-            combined = combined @ conversion.swapaxes(-1, -2)    # (K, n, Ne)
-        logits = self.clf_block(combined)                        # (K, n, 1)
-        return logits.reshape(self.k, n)
 
 
 def _prepare_local_models(requests):
@@ -145,37 +74,19 @@ def _adapt_bucket(requests):
     """Fused adaptation of shape-compatible requests (one per task)."""
     first = requests[0]
     models, conversions = _prepare_local_models(requests)
-    batched = BatchedUISClassifier(models)
-    conversion = None
-    if first.use_conversion:
-        conversion = Parameter(np.stack(conversions))
 
     features = np.stack([r.feature for r in requests])        # (K, ku)
     xs = np.stack([r.encoded for r in requests])              # (K, n, w)
     ys = np.stack([r.targets for r in requests])              # (K, n)
-    pos_weight = batched_pos_weight(ys) if first.balance_classes else None
-
-    trainable = list(batched.parameters())
-    if conversion is not None:
-        trainable.append(conversion)
-    if first.optimizer_kind == "adam":
-        optimizer = nn.Adam(trainable, lr=first.lr)
-    else:
-        optimizer = nn.SGD(trainable, lr=first.lr)
 
     # Step-count parity: the sequential basic trainer runs exactly
     # ``basic_steps`` iterations, while ``MetaTrainer.adapt`` floors its
     # local steps at 1.
     steps = first.steps if first.variant == "basic" else max(1, first.steps)
-    for _ in range(steps):
-        optimizer.zero_grad()
-        logits = batched.forward(features, xs, conversion=conversion)
-        # Sum of per-task mean losses: block-diagonal, so each task's
-        # parameters see exactly their own sequential gradient.
-        loss = batched_binary_cross_entropy_with_logits(
-            logits, ys, pos_weight=pos_weight).sum()
-        loss.backward()
-        optimizer.step()
+    batched, conversion = fused_local_adapt(
+        models, features, xs, ys, conversions=conversions, steps=steps,
+        lr=first.lr, optimizer_kind=first.optimizer_kind,
+        balance_classes=first.balance_classes)
 
     batched.unstack_into(models)
     results = []

@@ -1,0 +1,38 @@
+"""repro.train — the batched offline meta-training engine.
+
+The paper's offline phase (Algorithm 2) is the expensive part of LTE —
+Fig. 8b measures exactly that — yet every meta-task is tiny and
+mutually independent within an Eq. 13 batch, and so are the per-subspace
+trainers.  This package runs the offline phase the way
+:mod:`repro.serve` already runs the online one: as fused stacked
+autograd programs over the shared substrate in :mod:`repro.nn.batching`.
+
+* :mod:`engine <repro.train.engine>` — fused executors: one whole
+  meta-batch (local steps + global query backward) as one ``(K, ...)``
+  program, joint pretraining fused across subspaces, batched
+  evaluation.  Bit-identical to the sequential reference executors
+  (property-fuzzed in ``tests/train``).
+* :mod:`offline <repro.train.offline>` — the pooled scheduler:
+  :class:`TrainerSchedule` / :class:`OfflineRun` interleave epochs
+  round-robin across all meta-subspaces (shape-bucketed fusion) and
+  checkpoint cursor + RNG + weights + optimizer moments after every
+  epoch, so a killed pretraining run resumes to the identical phi.
+
+``MetaTrainer.train`` / ``LTE.fit_offline`` ride this package by
+default (``engine="batched"``); pass ``engine="sequential"`` for the
+reference executor.
+"""
+
+from .engine import (MetaBatchSlot, encode_task_sets, evaluate_batched,
+                     run_meta_batch_fused, run_pretrain_epoch_pooled,
+                     run_pretrain_epoch_sequential)
+from .offline import (DEFAULT_ENGINE, ENGINES, OfflineRun, TrainerSchedule,
+                      run_offline_training)
+
+__all__ = [
+    "DEFAULT_ENGINE", "ENGINES",
+    "TrainerSchedule", "OfflineRun", "run_offline_training",
+    "MetaBatchSlot", "run_meta_batch_fused", "encode_task_sets",
+    "run_pretrain_epoch_sequential", "run_pretrain_epoch_pooled",
+    "evaluate_batched",
+]

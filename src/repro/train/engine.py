@@ -1,0 +1,331 @@
+"""Fused batched execution of offline meta-training (Algorithm 2).
+
+The paper's offline phase dominates end-to-end cost (Fig. 8b): |TM|
+meta-tasks per meta-subspace, each adapted for ``local_steps`` and
+meta-stepped through its query loss.  One task is tiny — all Python /
+autograd overhead — but the tasks inside one Eq. 13 batch are mutually
+independent, and so are entire *meta-subspaces*.  This module therefore
+runs:
+
+* the **local + global phase of a whole meta-batch** as ONE stacked
+  autograd program over ``(K, ...)`` parameter stacks
+  (:func:`run_meta_batch_fused`), where K pools the batches of every
+  shape-compatible subspace trained this round;
+* one **joint-pretraining step of S subspaces** as one stacked program
+  (:func:`run_pretrain_epoch_pooled`) — the pretrain *task* loop shares
+  phi and is inherently sequential, but the S per-subspace models are
+  independent slices.
+
+Everything rides :mod:`repro.nn.batching` (the substrate shared with the
+online serving path) and is **bit-identical** to the sequential
+reference executors in
+:meth:`~repro.core.meta_training.MetaTrainer.train_batch_sequential` /
+:meth:`~repro.core.meta_training.MetaTrainer.pretrain_step`: the stacked
+computation is block-diagonal, so every task sees exactly its sequential
+gradients and optimizer updates.  ``tests/train`` property-fuzzes this.
+"""
+
+from __future__ import annotations
+
+from collections import namedtuple
+
+import numpy as np
+
+from ..nn.batching import (BatchedUISClassifier, fused_local_adapt,
+                           grad_stacks, load_flat_stack, stacked_predict,
+                           theta_r_grad_stack)
+from ..nn.functional import (batched_binary_cross_entropy_with_logits,
+                             batched_pos_weight)
+from ..nn.optim import Adam
+
+__all__ = ["encode_task_sets", "MetaBatchSlot", "run_meta_batch_fused",
+           "run_pretrain_epoch_sequential", "run_pretrain_epoch_pooled",
+           "evaluate_batched"]
+
+
+def encode_task_sets(tasks, encode, rows_per_block=8192):
+    """Pre-encode meta-task support/query sets, block-wise.
+
+    Returns ``[(feature_vector, enc_support_x, support_y, enc_query_x,
+    query_y), ...]`` — the working representation both engines train on.
+    Tuples from consecutive tasks are concatenated into blocks of up to
+    ``rows_per_block`` rows so the preprocessor transforms run over a
+    few large matrices instead of 2x|TM| tiny ones; the store-backed
+    offline path rides this too, keeping peak encode memory bounded by
+    the block size rather than the task count.
+    """
+    tasks = list(tasks)
+    raw = []
+    for task in tasks:
+        raw.append(np.atleast_2d(np.asarray(task.support_x,
+                                            dtype=np.float64)))
+        raw.append(np.atleast_2d(np.asarray(task.query_x,
+                                            dtype=np.float64)))
+    encoded_arrays = []
+    block, block_rows = [], 0
+    for array in raw:
+        block.append(array)
+        block_rows += len(array)
+        if block_rows >= rows_per_block:
+            encoded_arrays.extend(_encode_block(block, encode))
+            block, block_rows = [], 0
+    if block:
+        encoded_arrays.extend(_encode_block(block, encode))
+    out = []
+    for i, task in enumerate(tasks):
+        out.append((np.asarray(task.feature_vector, dtype=np.float64),
+                    encoded_arrays[2 * i], task.support_y,
+                    encoded_arrays[2 * i + 1], task.query_y))
+    return out
+
+
+def _encode_block(block, encode):
+    """Encode a list of row blocks in one transform call; split back."""
+    stacked = encode(np.vstack(block))
+    lengths = [len(array) for array in block]
+    offsets = np.cumsum([0] + lengths)
+    return [np.ascontiguousarray(stacked[offsets[i]:offsets[i + 1]])
+            for i in range(len(block))]
+
+
+#: One trainer's share of a fused meta-batch: its encoded task set and
+#: the task indices (in order) it contributes this round.
+MetaBatchSlot = namedtuple("MetaBatchSlot", ["trainer", "encoded", "indices"])
+
+
+def run_meta_batch_fused(slots):
+    """Execute one pooled Eq. 12/13 meta-batch as a fused program.
+
+    ``slots`` carries one entry per participating trainer; every task
+    across all slots must be shape-compatible (same model configuration,
+    support/query sizes, local hyper-parameters — the pooled scheduler
+    groups accordingly).  Semantics per slot are exactly
+    :meth:`MetaTrainer.train_batch_sequential`: task-wise retrieval from
+    the batch-start memories, ``local_steps`` of fused adaptation, one
+    fused query backward, per-trainer gradient accumulation in task
+    order, deferred memory EMA updates in task order, one Eq. 13 step on
+    each trainer's phi.
+
+    Returns the per-slot lists of query losses, in slot order.
+    """
+    first_params = slots[0].trainer.params
+    # Task-wise initialization (Eqs. 6/10/11), stacked straight off each
+    # trainer's meta-learned template: the K slices start as copies of
+    # phi (no per-task model construction), then the memory-retrieved
+    # theta_R shifts land row-wise in the stacked UIS block — the same
+    # bits ``task_retrieval`` produces per task.
+    models, conversions, attentions, shifts = [], [], [], []
+    v_rs, sxs, sys_, qxs, qys = [], [], [], [], []
+    for slot in slots:
+        trainer = slot.trainer
+        models.extend([trainer.model] * len(slot.indices))
+        flat = trainer.model.get_theta_r_flat() \
+            if trainer.use_memories else None
+        for idx in slot.indices:
+            v_r, sx, sy, qx, qy = slot.encoded[idx]
+            if trainer.use_memories:
+                attention = trainer.memories.attention(v_r)
+                omega = trainer.memories.omega_r(attention)
+                attentions.append(attention)
+                shifts.append(flat - trainer.params.sigma * omega)
+                conversions.append(trainer.memories.conversion(attention))
+            else:
+                attentions.append(None)
+                conversions.append(None)
+            v_rs.append(v_r)
+            sxs.append(sx)
+            sys_.append(np.asarray(sy, dtype=np.float64).ravel())
+            qxs.append(qx)
+            qys.append(np.asarray(qy, dtype=np.float64).ravel())
+
+    batched = BatchedUISClassifier(models)
+    if shifts:
+        load_flat_stack(batched.uis_block, np.stack(shifts))
+    features = np.stack(v_rs)
+    batched, conversion = fused_local_adapt(
+        models, features, np.stack(sxs), np.stack(sys_),
+        conversions=conversions, batched=batched,
+        steps=max(1, first_params.local_steps), lr=first_params.rho,
+        optimizer_kind=first_params.local_optimizer,
+        balance_classes=first_params.balance_classes)
+    # Last-step theta_R gradients feed the parameter memory (Eq. 15);
+    # capture them before the global backward overwrites the stacks.
+    theta_grads = theta_r_grad_stack(batched)
+
+    # Global phase (Eq. 13): all K query losses in one forward/backward.
+    batched.zero_grad()
+    if conversion is not None:
+        conversion.zero_grad()
+    qy_stack = np.stack(qys)
+    pos_weight = batched_pos_weight(qy_stack) \
+        if first_params.balance_classes else None
+    logits = batched.forward(features, np.stack(qxs), conversion=conversion)
+    task_losses = batched_binary_cross_entropy_with_logits(
+        logits, qy_stack, pos_weight=pos_weight)
+    task_losses.sum().backward()
+    stacks = grad_stacks(batched)
+    loss_values = [float(value) for value in np.asarray(task_losses.data)]
+
+    out = []
+    offset = 0
+    for slot in slots:
+        trainer = slot.trainer
+        params = trainer.params
+        k = len(slot.indices)
+        phi_params = dict(trainer.model.named_parameters())
+        accum = {name: np.zeros_like(p.data)
+                 for name, p in phi_params.items()}
+        for j in range(offset, offset + k):
+            for name, phi in phi_params.items():
+                grad = stacks.get(name)
+                if grad is not None:
+                    accum[name] += np.asarray(grad[j]).reshape(
+                        phi.data.shape)
+        if trainer.use_memories:
+            for pos in range(k):
+                j = offset + pos
+                v_r = slot.encoded[slot.indices[pos]][0]
+                trainer.memories.update_feature_patterns(
+                    attentions[j], v_r, params.eta)
+                trainer.memories.update_parameter_memory(
+                    attentions[j], theta_grads[j], params.beta)
+                trainer.memories.update_conversion_memory(
+                    attentions[j], conversion.data[j], params.gamma)
+        scale = params.lam / max(1, k)
+        for name, phi in phi_params.items():
+            phi.data = phi.data - scale * accum[name]
+        out.append(loss_values[offset:offset + k])
+        offset += k
+    return out
+
+
+# ----------------------------------------------------------------------
+# Joint pretraining epochs (phi-level, Adam state carried via schedules)
+# ----------------------------------------------------------------------
+def run_pretrain_epoch_sequential(schedule):
+    """One joint-pretraining epoch of a single trainer, task at a time."""
+    trainer = schedule.trainer
+    optimizer = Adam(trainer.model.parameters(),
+                     lr=trainer.params.pretrain_lr)
+    if schedule.pretrain_opt_state is not None:
+        optimizer.load_state_dict(schedule.pretrain_opt_state)
+    conversion = trainer.pretrain_conversion()
+    for idx in schedule.next_pretrain_order():
+        v_r, x, y = schedule.pretrain_sets[idx]
+        trainer.pretrain_step(optimizer, conversion, v_r, x, y)
+    schedule.pretrain_opt_state = optimizer.state_dict()
+
+
+def run_pretrain_epoch_pooled(schedules):
+    """One joint-pretraining epoch of S trainers, fused across them.
+
+    Each trainer's task loop is sequential (consecutive steps share its
+    phi), but the S per-subspace models are independent: step t trains
+    every trainer's t-th task (per its own shuffle) in one stacked
+    forward/backward and one stacked Adam step.  Slice s is bit-identical
+    to :func:`run_pretrain_epoch_sequential` on trainer s.
+    """
+    trainers = [schedule.trainer for schedule in schedules]
+    models = [trainer.model for trainer in trainers]
+    batched = BatchedUISClassifier(models)
+    params = trainers[0].params
+    optimizer = Adam(batched.parameters(), lr=params.pretrain_lr)
+    _load_stacked_adam(optimizer, schedules, batched)
+
+    conversions = [trainer.pretrain_conversion() for trainer in trainers]
+    conversion = None if conversions[0] is None else np.stack(conversions)
+    orders = [schedule.next_pretrain_order() for schedule in schedules]
+    n_tasks = len(schedules[0].pretrain_sets)
+    for t in range(n_tasks):
+        picks = [schedule.pretrain_sets[orders[s][t]]
+                 for s, schedule in enumerate(schedules)]
+        features = np.stack([pick[0] for pick in picks])
+        xs = np.stack([pick[1] for pick in picks])
+        ys = np.stack([pick[2] for pick in picks])
+        pos_weight = batched_pos_weight(ys) \
+            if params.balance_classes else None
+        optimizer.zero_grad()
+        logits = batched.forward(features, xs, conversion=conversion)
+        loss = batched_binary_cross_entropy_with_logits(
+            logits, ys, pos_weight=pos_weight).sum()
+        loss.backward()
+        optimizer.step()
+
+    batched.unstack_into(models)
+    _store_stacked_adam(optimizer, schedules, models)
+
+
+def _load_stacked_adam(optimizer, schedules, batched):
+    """Stack the per-schedule Adam moment slices into the fused optimizer."""
+    states = [schedule.pretrain_opt_state for schedule in schedules]
+    if all(state is None for state in states):
+        return
+    if any(state is None for state in states):
+        raise ValueError("cannot pool trainers with and without pretrain "
+                         "optimizer state")
+    steps = {int(state["step"]) for state in states}
+    if len(steps) > 1:
+        raise ValueError("cannot pool pretrain optimizers at different "
+                         "step counts: {}".format(sorted(steps)))
+    batched_params = list(batched.parameters())
+    stacked = dict(states[0])
+    for key in ("m", "v"):
+        stacked[key] = [
+            np.stack([np.asarray(state[key][i]).reshape(p.data.shape[1:])
+                      for state in states])
+            for i, p in enumerate(batched_params)]
+    optimizer.load_state_dict(stacked)
+
+
+def _store_stacked_adam(optimizer, schedules, models):
+    """Slice the fused Adam state back into per-schedule states."""
+    stacked = optimizer.state_dict()
+    for s, (schedule, model) in enumerate(zip(schedules, models)):
+        state = dict(stacked)
+        for key in ("m", "v"):
+            state[key] = [
+                np.ascontiguousarray(
+                    np.asarray(stacked[key][i])[s].reshape(p.data.shape))
+                for i, p in enumerate(model.parameters())]
+        schedule.pretrain_opt_state = state
+
+
+# ----------------------------------------------------------------------
+# Batched evaluation
+# ----------------------------------------------------------------------
+def evaluate_batched(trainer, tasks, encode, local_steps=None):
+    """Fused :meth:`MetaTrainer.evaluate`: adapt + score per shape bucket.
+
+    Bit-identical predictions to the sequential per-task loop; tasks of
+    odd shapes simply land in their own (possibly singleton) bucket.
+    """
+    encoded = encode_task_sets(tasks, encode)
+    if not encoded:
+        return 0.0
+    params = trainer.params
+    steps = params.local_steps if local_steps is None else int(local_steps)
+    buckets = {}
+    for i, (v_r, sx, sy, qx, qy) in enumerate(encoded):
+        buckets.setdefault((sx.shape, qx.shape), []).append(i)
+    scores = [0.0] * len(encoded)
+    for indices in buckets.values():
+        models, conversions = [], []
+        for i in indices:
+            local, conversion, _ = trainer.task_retrieval(encoded[i][0])
+            models.append(local)
+            conversions.append(conversion)
+        features = np.stack([encoded[i][0] for i in indices])
+        sx = np.stack([encoded[i][1] for i in indices])
+        sy = np.stack([np.asarray(encoded[i][2], dtype=np.float64).ravel()
+                       for i in indices])
+        batched, conversion = fused_local_adapt(
+            models, features, sx, sy, conversions=conversions,
+            steps=max(1, steps), lr=params.rho,
+            optimizer_kind=params.local_optimizer,
+            balance_classes=params.balance_classes)
+        qx = np.stack([encoded[i][3] for i in indices])
+        preds = stacked_predict(batched, features, qx,
+                                conversion=conversion)
+        for row, i in enumerate(indices):
+            scores[i] = float(np.mean(preds[row] == encoded[i][4]))
+    return float(np.mean(scores))

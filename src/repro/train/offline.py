@@ -1,0 +1,405 @@
+"""Pooled, resumable offline meta-training across meta-subspaces.
+
+:class:`TrainerSchedule` wraps one
+:class:`~repro.core.meta_training.MetaTrainer` with everything its
+training run owns — the encoded task set, the epoch RNG, the phase
+cursors (pretrain epochs / meta epochs completed) and the carried
+pretrain-Adam state.  :class:`OfflineRun` advances a set of schedules
+**one epoch per tick**, pooling shape-compatible subspaces into shared
+fused programs (:mod:`repro.train.engine`): instead of finishing
+subspace i before starting i+1, every tick interleaves one epoch of
+every unfinished subspace, so a meta-batch stacks
+``batch_size x n_subspaces`` tasks and a pretrain step stacks one task
+per subspace.  Because the subspaces' trainers are independent (separate
+phi, memories and RNG streams), any interleaving — and any fusion — is
+bit-identical to training them one after another.
+
+Epoch granularity is also the **resume granularity**:
+:func:`run_offline_training` checkpoints every schedule's cursor, RNG
+state, trainer weights and pretrain-optimizer moments after every tick
+(via :func:`repro.persist.save_pretrain_run`), so a killed pretraining
+run resumes from the last completed epoch and converges to the identical
+phi, bit for bit (``tests/persist``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .engine import (MetaBatchSlot, run_meta_batch_fused,
+                     run_pretrain_epoch_pooled,
+                     run_pretrain_epoch_sequential, encode_task_sets)
+
+__all__ = ["DEFAULT_ENGINE", "ENGINES", "check_engine", "TrainerSchedule",
+           "OfflineRun", "run_offline_training"]
+
+#: The fused stacked executor is the default everywhere; the sequential
+#: reference executor remains available for parity checks and debugging.
+DEFAULT_ENGINE = "batched"
+ENGINES = ("batched", "sequential")
+
+
+def check_engine(engine):
+    engine = DEFAULT_ENGINE if engine is None else engine
+    if engine not in ENGINES:
+        raise ValueError("unknown engine {!r}; options: {}".format(
+            engine, ENGINES))
+    return engine
+
+
+class TrainerSchedule:
+    """Resumable training state of ONE trainer over its encoded tasks.
+
+    ``encoded=None`` marks a schedule restored from a *finished*
+    checkpoint: no epochs remain, so the (expensive) meta-tasks are
+    never regenerated or encoded — :meth:`load_state_dict` enforces
+    that such a schedule really is complete.
+    """
+
+    def __init__(self, trainer, encoded, epochs=None):
+        self.trainer = trainer
+        self.encoded = None if encoded is None else list(encoded)
+        self.n_tasks = None if encoded is None else len(self.encoded)
+        self.rng = np.random.default_rng(trainer.seed)
+        params = trainer.params
+        self.pretrain_total = max(0, int(params.pretrain_epochs))
+        self.meta_total = max(0, int(params.epochs if epochs is None
+                                     else epochs))
+        self.pretrain_done = 0
+        self.meta_done = 0
+        self.pretrain_opt_state = None
+        self._pretrain_sets = None
+
+    # -- phase bookkeeping ---------------------------------------------
+    @property
+    def phase(self):
+        if self.pretrain_done < self.pretrain_total:
+            return "pretrain"
+        if self.meta_done < self.meta_total:
+            return "meta"
+        return "done"
+
+    @property
+    def done(self):
+        return self.phase == "done"
+
+    def next_pretrain_order(self):
+        return self.rng.permutation(len(self.encoded))
+
+    def next_meta_order(self):
+        return self.rng.permutation(len(self.encoded))
+
+    # -- pretrain working set ------------------------------------------
+    @property
+    def pretrain_sets(self):
+        """Per-task ``(v_R, support+query tuples, labels)`` for joint
+        pretraining (built lazily, cached)."""
+        if self._pretrain_sets is None:
+            self._pretrain_sets = [
+                (v_r, np.vstack([sx, qx]),
+                 np.concatenate([sy, qy]).astype(np.float64))
+                for v_r, sx, sy, qx, qy in self.encoded]
+        return self._pretrain_sets
+
+    # -- fusion grouping ------------------------------------------------
+    def _shape_signature(self):
+        """Uniform (support, query) shapes of the task set, or None."""
+        shapes = {(sx.shape, qx.shape)
+                  for _, sx, _, qx, _ in self.encoded}
+        return next(iter(shapes)) if len(shapes) == 1 else None
+
+    def pretrain_group_key(self):
+        """Schedules sharing this key can pretrain in lockstep fusion."""
+        signature = self._shape_signature()
+        if signature is None:
+            return ("solo", id(self))
+        params = self.trainer.params
+        return (tuple(sorted(self.trainer.model.config.items())),
+                signature, len(self.encoded),
+                float(params.pretrain_lr), bool(params.balance_classes))
+
+    def meta_group_key(self):
+        """Schedules sharing this key can fuse their meta-batches."""
+        signature = self._shape_signature()
+        if signature is None:
+            return ("solo", id(self))
+        params = self.trainer.params
+        return (tuple(sorted(self.trainer.model.config.items())),
+                signature, int(params.batch_size),
+                int(params.local_steps), float(params.rho),
+                str(params.local_optimizer), bool(params.balance_classes))
+
+    # -- checkpointing --------------------------------------------------
+    def state_dict(self):
+        """Everything needed to resume this schedule bit-identically."""
+        return {
+            "n_tasks": int(self.n_tasks),
+            "pretrain_total": int(self.pretrain_total),
+            "meta_total": int(self.meta_total),
+            "pretrain_done": int(self.pretrain_done),
+            "meta_done": int(self.meta_done),
+            "rng_state": _encode_rng_state(self.rng),
+            "trainer": self.trainer.state_dict(),
+            "pretrain_optimizer": self.pretrain_opt_state,
+        }
+
+    def load_state_dict(self, state):
+        from ..persist.checkpoint import CheckpointError
+
+        expected = {"pretrain_total": self.pretrain_total,
+                    "meta_total": self.meta_total}
+        if self.encoded is not None:
+            expected["n_tasks"] = len(self.encoded)
+        for field, value in expected.items():
+            if int(state[field]) != int(value):
+                raise CheckpointError(
+                    "pretrain-run checkpoint has {}={} but the resuming "
+                    "run was configured with {}; resume with the exact "
+                    "original configuration".format(
+                        field, state[field], value))
+        self.pretrain_done = int(state["pretrain_done"])
+        self.meta_done = int(state["meta_done"])
+        self.n_tasks = int(state["n_tasks"])
+        if self.encoded is None and not self.done:
+            raise CheckpointError(
+                "pretrain-run schedule was restored without its task set "
+                "but still has epochs to run ({}/{} pretrain, {}/{} "
+                "meta); this is a bug in the resume driver".format(
+                    self.pretrain_done, self.pretrain_total,
+                    self.meta_done, self.meta_total))
+        self.trainer.load_state_dict(state["trainer"])
+        self.rng = _decode_rng_state(state["rng_state"])
+        self.pretrain_opt_state = state["pretrain_optimizer"]
+
+
+def _encode_rng_state(rng):
+    """JSON-able snapshot of a Generator's bit-generator state."""
+    state = rng.bit_generator.state
+    return {"bit_generator": state["bit_generator"],
+            "state": {key: int(value)
+                      for key, value in state["state"].items()},
+            "has_uint32": int(state["has_uint32"]),
+            "uinteger": int(state["uinteger"])}
+
+
+def _decode_rng_state(snapshot):
+    rng = np.random.default_rng(0)
+    if snapshot["bit_generator"] != rng.bit_generator.state["bit_generator"]:
+        from ..persist.checkpoint import CheckpointError
+        raise CheckpointError(
+            "pretrain-run checkpoint was written with bit generator {!r} "
+            "but this numpy builds {!r}; resume on a matching numpy"
+            .format(snapshot["bit_generator"],
+                    rng.bit_generator.state["bit_generator"]))
+    rng.bit_generator.state = {
+        "bit_generator": snapshot["bit_generator"],
+        "state": {key: int(value)
+                  for key, value in snapshot["state"].items()},
+        "has_uint32": int(snapshot["has_uint32"]),
+        "uinteger": int(snapshot["uinteger"]),
+    }
+    return rng
+
+
+class OfflineRun:
+    """Drive a set of schedules to completion, one pooled epoch per tick.
+
+    Parameters
+    ----------
+    schedules:
+        :class:`TrainerSchedule` instances (typically one per
+        meta-subspace; a single one reproduces ``MetaTrainer.train``).
+    engine:
+        ``"batched"`` (default) or ``"sequential"``; bit-identical.
+    on_epoch:
+        Optional callback ``(schedule, kind, epoch_index, mean_loss)``
+        fired after each completed epoch — ``kind`` is ``"pretrain"``
+        (``mean_loss`` is None) or ``"meta"`` (mean query loss).
+    """
+
+    def __init__(self, schedules, engine=None, on_epoch=None):
+        self.schedules = list(schedules)
+        self.engine = check_engine(engine)
+        self.on_epoch = on_epoch
+
+    @property
+    def done(self):
+        return all(schedule.done for schedule in self.schedules)
+
+    def run(self):
+        while not self.done:
+            self.step_epoch()
+        return self
+
+    def step_epoch(self):
+        """Advance every unfinished schedule by one epoch of its phase."""
+        pretraining = [s for s in self.schedules if s.phase == "pretrain"]
+        meta = [s for s in self.schedules if s.phase == "meta"]
+        for group in _grouped(pretraining,
+                              TrainerSchedule.pretrain_group_key):
+            if self.engine == "batched" and len(group) > 1:
+                run_pretrain_epoch_pooled(group)
+            else:
+                for schedule in group:
+                    run_pretrain_epoch_sequential(schedule)
+            for schedule in group:
+                schedule.pretrain_done += 1
+                self._emit(schedule, "pretrain",
+                           schedule.pretrain_done - 1, None)
+        for group in _grouped(meta, TrainerSchedule.meta_group_key):
+            losses = _run_meta_epoch(group, self.engine)
+            for schedule, epoch_losses in zip(group, losses):
+                mean = float(np.mean(epoch_losses)) if epoch_losses else 0.0
+                schedule.trainer.history.append(mean)
+                schedule.meta_done += 1
+                self._emit(schedule, "meta", schedule.meta_done - 1, mean)
+
+    def _emit(self, schedule, kind, epoch, mean_loss):
+        if self.on_epoch is not None:
+            self.on_epoch(schedule, kind, epoch, mean_loss)
+
+
+def _grouped(schedules, key_method):
+    """Schedules grouped by fusion key, preserving first-seen order."""
+    groups = {}
+    for schedule in schedules:
+        groups.setdefault(key_method(schedule), []).append(schedule)
+    return list(groups.values())
+
+
+def _run_meta_epoch(schedules, engine):
+    """One meta epoch for a fusion group, batches interleaved round-robin.
+
+    Returns per-schedule lists of query losses in task order — exactly
+    the list the sequential per-trainer epoch would produce, because the
+    round-robin only reorders work *across* independent trainers.
+    """
+    batch_size = max(1, int(schedules[0].trainer.params.batch_size))
+    # Task sets of non-uniform support/query shapes cannot np.stack into
+    # one program (their group key is already solo); run them on the
+    # sequential executor — identical semantics, task at a time.
+    fusable = all(schedule._shape_signature() is not None
+                  for schedule in schedules)
+    orders = [schedule.next_meta_order() for schedule in schedules]
+    losses = [[] for _ in schedules]
+    n_batches = max((len(order) + batch_size - 1) // batch_size
+                    for order in orders)
+    for b in range(n_batches):
+        slots, owners = [], []
+        for s, schedule in enumerate(schedules):
+            batch = orders[s][b * batch_size:(b + 1) * batch_size]
+            if len(batch):
+                slots.append(MetaBatchSlot(schedule.trainer,
+                                           schedule.encoded, list(batch)))
+                owners.append(s)
+        if not slots:
+            continue
+        total = sum(len(slot.indices) for slot in slots)
+        if engine == "batched" and fusable and total > 1:
+            slot_losses = run_meta_batch_fused(slots)
+        else:
+            slot_losses = [
+                slot.trainer.train_batch_sequential(slot.encoded,
+                                                    slot.indices)
+                for slot in slots]
+        for s, batch_losses in zip(owners, slot_losses):
+            losses[s].extend(batch_losses)
+    return losses
+
+
+# ----------------------------------------------------------------------
+# The LTE offline phase: pooled training over every prepared subspace
+# ----------------------------------------------------------------------
+def run_offline_training(lte, subspaces, engine=None, progress=None,
+                         checkpoint=None):
+    """Meta-train every prepared subspace of ``lte``, pooled and resumable.
+
+    Builds one :class:`TrainerSchedule` per subspace (regenerating the
+    deterministic meta-tasks and encodings), optionally resumes from an
+    epoch-granular ``pretrain-run`` checkpoint at ``checkpoint``, trains
+    all schedules with epochs interleaved round-robin across subspaces,
+    and installs the finished trainers on the subspace states.
+
+    ``progress`` (if given) receives ``(subspace, ("epoch",
+    epoch_index, mean_query_loss))`` after every meta epoch and
+    ``(subspace, "trained")`` per subspace once training completes.
+    """
+    cfg = lte.config
+    subspaces = list(subspaces)
+    saved = _load_saved_schedules(checkpoint, lte, subspaces)
+    schedules = []
+    for subspace in subspaces:
+        state = lte.states[subspace]
+        entry = saved.get(tuple(sorted(subspace.names)))
+        trainer = lte.build_trainer(state)
+        if entry is not None and _entry_done(entry):
+            # Finished in the checkpoint: skip the (expensive) task
+            # regeneration and encoding — nothing remains to train.
+            schedule = TrainerSchedule(trainer, None)
+        else:
+            tasks = state.task_generator.generate(cfg.n_tasks)
+            schedule = TrainerSchedule(
+                trainer, encode_task_sets(tasks, state.encode_scaled))
+        if entry is not None:
+            schedule.load_state_dict(entry)
+        schedules.append(schedule)
+
+    by_schedule = dict(zip(schedules, subspaces))
+
+    def on_epoch(schedule, kind, epoch, mean_loss):
+        if progress is None:
+            return
+        if kind == "meta":
+            progress(by_schedule[schedule], ("epoch", epoch, mean_loss))
+        else:
+            progress(by_schedule[schedule], ("pretrain", epoch))
+
+    run = OfflineRun(schedules, engine=engine, on_epoch=on_epoch)
+    while not run.done:
+        run.step_epoch()
+        if checkpoint is not None:
+            _save_run(checkpoint, lte, subspaces, schedules, run.engine)
+
+    for subspace, schedule in zip(subspaces, schedules):
+        lte.states[subspace].trainer = schedule.trainer
+        if progress is not None:
+            progress(subspace, "trained")
+    return run
+
+
+def _save_run(checkpoint, lte, subspaces, schedules, engine):
+    from ..persist.state import save_pretrain_run
+
+    entries = [{"names": list(subspace.names),
+                "schedule": schedule.state_dict()}
+               for subspace, schedule in zip(subspaces, schedules)]
+    save_pretrain_run(checkpoint, lte, entries, meta={"engine": engine})
+
+
+def _entry_done(entry):
+    return int(entry["pretrain_done"]) >= int(entry["pretrain_total"]) \
+        and int(entry["meta_done"]) >= int(entry["meta_total"])
+
+
+def _load_saved_schedules(checkpoint, lte, subspaces):
+    """Schedule states of an existing pretrain-run checkpoint, by
+    subspace key; empty when no checkpoint was requested or none exists
+    yet (a fresh run)."""
+    import os
+
+    from ..persist.checkpoint import CheckpointError
+    from ..persist.state import load_pretrain_run
+
+    if checkpoint is None or \
+            not os.path.isfile(os.path.join(checkpoint, "manifest.json")):
+        return {}
+    entries, _ = load_pretrain_run(checkpoint, lte)
+    by_names = {tuple(sorted(entry["names"])): entry["schedule"]
+                for entry in entries}
+    expected = {tuple(sorted(s.names)) for s in subspaces}
+    if set(by_names) != expected:
+        raise CheckpointError(
+            "pretrain-run checkpoint at {!r} covers subspaces {} but this "
+            "run trains {}; resume with the original decomposition".format(
+                checkpoint, sorted(by_names), sorted(expected)))
+    return by_names

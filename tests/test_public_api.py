@@ -6,7 +6,7 @@ import pytest
 
 PACKAGES = ["repro", "repro.nn", "repro.ml", "repro.geometry", "repro.data",
             "repro.core", "repro.baselines", "repro.explore", "repro.bench",
-            "repro.serve", "repro.persist", "repro.store"]
+            "repro.serve", "repro.persist", "repro.store", "repro.train"]
 
 
 @pytest.mark.parametrize("name", PACKAGES)
@@ -30,6 +30,7 @@ def test_persist_exports():
     expected = {"CheckpointError", "SCHEMA_VERSION",
                 "save_checkpoint", "load_checkpoint", "inspect_checkpoint",
                 "save_pretrained", "load_pretrained",
+                "save_pretrain_run", "load_pretrain_run",
                 "save_session", "load_session",
                 "save_manager", "load_manager", "dataset_provenance"}
     assert expected == set(persist.__all__)
