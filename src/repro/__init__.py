@@ -25,6 +25,10 @@ Packages
     Versioned checkpoint/restore (npz + JSON manifest with schema
     version and content digest) for pretrained artifacts, resumable
     sessions and warm-started serving snapshots.
+``repro.shard``
+    Multi-process sharded serving: a gateway routing sessions across a
+    pool of worker processes (one warm-started LTE replica each) with
+    admission control, crash isolation and rolling model broadcasts.
 ``repro.store``
     Chunked columnar dataset store: fixed-size row chunks (in memory or
     memory-mapped from disk) with per-chunk zone maps, and a scan

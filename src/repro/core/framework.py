@@ -24,6 +24,7 @@ Three variants mirror the paper's competitors:
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 
@@ -101,6 +102,10 @@ class LTEConfig:
         return ks
 
 
+#: Process-global allocator for :attr:`SubspaceState.artifact_token`.
+_ARTIFACT_TOKENS = itertools.count()
+
+
 class SubspaceState:
     """Offline artifacts of one meta-subspace.
 
@@ -108,6 +113,13 @@ class SubspaceState:
     values to the unit cube, and ``data``, the cluster summary, meta-tasks
     and every geometric structure live in that normalized space.  Raw
     coordinates appear only at the public API boundary.
+
+    ``artifact_token`` identifies the *current* model/scaler generation of
+    this state within the process: caches of anything derived from the
+    scaler, preprocessor or meta-learner (e.g. the serving layer's encode
+    cache) must key by it.  Installing a new meta-learner or refreshed
+    scalers calls :meth:`bump_artifacts`, so stale derived artifacts
+    simply stop being reachable.
     """
 
     def __init__(self, subspace, data, scaler, preprocessor, task_generator,
@@ -118,6 +130,11 @@ class SubspaceState:
         self.preprocessor = preprocessor
         self.task_generator = task_generator   # holds the ClusterSummary
         self.trainer = trainer                 # None until meta-trained
+        self.artifact_token = next(_ARTIFACT_TOKENS)
+
+    def bump_artifacts(self):
+        """Mark the model/scaler artifacts as changed (new generation)."""
+        self.artifact_token = next(_ARTIFACT_TOKENS)
 
     @property
     def summary(self):
@@ -358,7 +375,12 @@ class LTE:
                 variant, VARIANTS))
         if not self.states:
             raise RuntimeError("fit_offline must run before start_session")
-        chosen = subspaces or list(self.states)
+        chosen = list(self.states) if subspaces is None else list(subspaces)
+        if not chosen:
+            raise ValueError(
+                "a session needs at least one subspace; an empty subspace "
+                "list would make every row trivially 'interesting' "
+                "(conjunction over nothing)")
         missing = [s for s in chosen if s not in self.states]
         if missing:
             raise KeyError("no offline state for subspaces: {}".format(missing))
@@ -912,12 +934,21 @@ class ExplorationSession:
         """
         if hasattr(rows, "iter_chunks"):
             return self.predict_store(rows)
+        self._require_predictable()
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
         result = np.ones(len(rows), dtype=np.int64)
         for subspace, subsession in self._subsessions.items():
             projected = subspace.project(rows)
             result &= subsession.predict(projected)
         return result
+
+    def _require_predictable(self):
+        """The conjunction over subspaces is only meaningful when there is
+        at least one: with none, every row would come back positive."""
+        if not self._subsessions:
+            raise RuntimeError(
+                "session has no subspaces; predictions over an empty "
+                "conjunction would mark every row interesting")
 
     def predict_store(self, store):
         """0/1 UIR membership over a chunk store, zone-map pruned.
@@ -934,6 +965,7 @@ class ExplorationSession:
         """
         from ..store.scan import session_chunk_keep
 
+        self._require_predictable()
         for subsession in self._subsessions.values():
             if subsession.adapted is None:
                 raise RuntimeError(

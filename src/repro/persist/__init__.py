@@ -42,8 +42,9 @@ A small CLI wraps the same paths: ``python -m repro.persist
 from .checkpoint import (SCHEMA_VERSION, CheckpointError, inspect_checkpoint,
                          load_checkpoint, save_checkpoint)
 from .state import (dataset_provenance, load_manager, load_pretrain_run,
-                    load_pretrained, load_session, save_manager,
-                    save_pretrain_run, save_pretrained, save_session)
+                    load_pretrained, load_session, model_fingerprint,
+                    save_manager, save_pretrain_run, save_pretrained,
+                    save_session)
 
 __all__ = [
     "CheckpointError", "SCHEMA_VERSION",
@@ -52,5 +53,5 @@ __all__ = [
     "save_pretrain_run", "load_pretrain_run",
     "save_session", "load_session",
     "save_manager", "load_manager",
-    "dataset_provenance",
+    "dataset_provenance", "model_fingerprint",
 ]

@@ -42,7 +42,8 @@ from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 
 __all__ = ["save_pretrained", "load_pretrained", "save_pretrain_run",
            "load_pretrain_run", "save_session", "load_session",
-           "save_manager", "load_manager", "dataset_provenance"]
+           "save_manager", "load_manager", "dataset_provenance",
+           "model_fingerprint"]
 
 
 def _config_fingerprint(lte):
@@ -76,6 +77,48 @@ def _lte_identity(lte):
     return {"config": _config_fingerprint(lte),
             "table_shape": list(data.shape),
             "table_digest": h.hexdigest()}
+
+
+def _fingerprint_update(h, node):
+    """Feed one nested state_dict node into a running digest."""
+    if node is None:
+        h.update(b"~")
+    elif isinstance(node, np.ndarray):
+        array = np.ascontiguousarray(node)
+        h.update(str(array.dtype).encode())
+        h.update(str(array.shape).encode())
+        h.update(array.tobytes())
+    elif isinstance(node, dict):
+        for key in sorted(node):
+            h.update(str(key).encode())
+            _fingerprint_update(h, node[key])
+    elif isinstance(node, (list, tuple)):
+        h.update(str(len(node)).encode())
+        for item in node:
+            _fingerprint_update(h, item)
+    else:
+        h.update(repr(node).encode())
+
+
+def model_fingerprint(lte):
+    """Stable 128-bit digest of a fitted system's learned model state.
+
+    Covers every subspace's meta-learner weights and memories (via the
+    trainer ``state_dict``), so two LTE systems fingerprint equal iff
+    their pretrained models are bit-identical.  This is the *model
+    version* of the serving tier: :func:`save_pretrained` stamps it into
+    the checkpoint manifest and the sharded gateway
+    (:mod:`repro.shard`) uses it to confirm a phi broadcast landed on
+    every worker replica.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for subspace, state in lte.states.items():
+        h.update(",".join(subspace.key).encode())
+        if state.trainer is None:
+            h.update(b"untrained")
+        else:
+            _fingerprint_update(h, state.trainer.state_dict())
+    return h.hexdigest()
 
 
 def dataset_provenance(table):
@@ -132,8 +175,12 @@ def save_pretrained(path, lte, meta=None):
     """Checkpoint the pretrained meta-learners of a fitted LTE system.
 
     Subspaces that were prepared but never meta-trained are recorded as
-    such and restore as untrained.  Returns the manifest dict.
+    such and restore as untrained.  The manifest ``meta`` is stamped with
+    the :func:`model_fingerprint` (the serving tier's model version).
+    Returns the manifest dict.
     """
+    meta = dict(meta or {})
+    meta.setdefault("model_fingerprint", model_fingerprint(lte))
     state = {
         "identity": _lte_identity(lte),
         "subspaces": [
@@ -178,6 +225,7 @@ def load_pretrained(path, lte):
         lte_state = lte.states[subspace]
         if entry["trainer"] is None:
             lte_state.trainer = None
+            lte_state.bump_artifacts()
             continue
         trainer = MetaTrainer.from_state_dict(entry["trainer"])
         width = lte_state.preprocessor.width
@@ -189,6 +237,10 @@ def load_pretrained(path, lte):
                 "artifacts".format(tuple(subspace.names),
                                    trainer.model.input_width, width))
         lte_state.trainer = trainer
+        # The subspace's model generation changed: bump its artifact
+        # token so version-keyed caches (e.g. the serving layer's encode
+        # cache) stop serving state derived under the old weights.
+        lte_state.bump_artifacts()
     return info
 
 

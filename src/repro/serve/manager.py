@@ -95,6 +95,11 @@ class SessionManager:
         self._region_packs = HullPackCache(capacity=128)
         self._sessions = {}
         self._queue = deque()
+        # Flush errors attributed to the session that caused them:
+        # {session_id: [{"subspace": [names], "error": "Type: msg"}]}.
+        # Surfaced (and cleared) by that session's next poll — never
+        # raised into an unrelated session's poll or predict.
+        self._session_errors = {}
         self._next_id = 0
         self._lock = threading.RLock()
         self.adapt_batches = 0   # flush calls that trained something
@@ -120,6 +125,7 @@ class SessionManager:
             session = self._sessions.pop(session_id)
             self._queue = deque(p for p in self._queue
                                 if p.session_id != session_id)
+            self._session_errors.pop(session_id, None)
             self.cache.invalidate_session(session_id)
             # Un-pin the session's compiled geometry (hulls shared with
             # live sessions just recompile on the next refine).
@@ -145,6 +151,17 @@ class SessionManager:
         if session_id not in self._sessions:
             raise KeyError("unknown session id {!r}".format(session_id))
         return True
+
+    @staticmethod
+    def _require_subspaces(session_id, session):
+        """Refuse to predict for a session with no subspaces at all: the
+        conjunctive combination over *nothing* would report every row
+        positive, which is never what a caller means."""
+        if not session._subsessions:
+            raise RuntimeError(
+                "session {!r} has no subspaces (none adapted, nothing to "
+                "predict with); predictions would be trivially "
+                "all-positive".format(session_id))
 
     # ------------------------------------------------------------------
     # Stage 1: label submission (enqueue only)
@@ -190,7 +207,7 @@ class SessionManager:
     # ------------------------------------------------------------------
     # Stage 2: batched adaptation
     # ------------------------------------------------------------------
-    def flush(self):
+    def flush(self, raise_errors=True):
         """Drain the queue through one fused batched adaptation.
 
         Returns the number of (session, subspace) adaptations performed.
@@ -200,9 +217,17 @@ class SessionManager:
         A queued item whose request cannot be built (e.g. labels for a
         meta variant whose subspace was never meta-trained) is discarded
         and does not take the rest of the queue down with it: every
-        other item still adapts, after which the first error re-raises.
-        If the fused training itself fails, nothing from the affected
-        wave was installed; the un-adapted items stay queued for retry.
+        other item still adapts.  Each such error is *attributed to the
+        owning session* — recorded in its per-session error state and
+        surfaced by that session's next :meth:`poll` — at the moment it
+        is caught, so a later training failure can no longer discard it.
+        With ``raise_errors=True`` (direct calls) the first error then
+        also re-raises; the :meth:`poll`/:meth:`predict` paths pass
+        ``False`` so one session's bad batch never raises into an
+        unrelated session's call.  If the fused training itself fails,
+        nothing from the affected wave was installed; the un-adapted
+        items stay queued for retry and the failure re-raises
+        regardless (it is systemic, not one session's fault).
         """
         with self._lock:
             work = list(self._queue)
@@ -230,9 +255,16 @@ class SessionManager:
                     self._queue.extend(rest)
                     raise
                 work = rest
-            if errors:
+            if errors and raise_errors:
                 raise errors[0]
             return done
+
+    def _record_error(self, session_id, subspace, error):
+        """Attribute one flush error to its owning session."""
+        self._session_errors.setdefault(session_id, []).append({
+            "subspace": list(subspace.names),
+            "error": "{}: {}".format(type(error).__name__, error),
+        })
 
     def _run_wave(self, wave, errors):
         start = time.perf_counter()
@@ -249,6 +281,7 @@ class SessionManager:
                         item.tuples, item.labels)
                     installs.append((subsession, extras))
             except Exception as error:   # isolate the offending item
+                self._record_error(item.session_id, item.subspace, error)
                 errors.append(error)
                 continue
             requests.append(request)
@@ -276,17 +309,23 @@ class SessionManager:
         is only inspected — ``pending`` then lists the session's
         subspaces still awaiting adaptation.  ``versions`` carries the
         per-subspace model versions that key the prediction cache.
+
+        ``errors`` lists flush failures attributed to *this* session
+        (``[{"subspace": [names], "error": "Type: msg"}]``), cleared
+        once reported.  Another session's bad label batch never raises
+        here: it lands in that session's own error state instead.
         """
         with self._lock:
             session = self.session(session_id)
             if advance:
-                self.flush()
+                self.flush(raise_errors=False)
             ready = [s for s, ss in session._subsessions.items()
                      if ss.adapted is not None]
             pending = [s for _, s in self.pending(session_id)]
             return {
                 "ready": ready,
                 "pending": pending,
+                "errors": self._session_errors.pop(session_id, []),
                 "versions": {s: ss.model_version
                              for s, ss in session._subsessions.items()},
             }
@@ -300,10 +339,17 @@ class SessionManager:
         ``digest`` short-circuits the content hash when the caller
         already has a stable identity for the points (the store path
         passes the chunk digest, so repeated scans never re-hash bytes).
+
+        The cache key includes the state's ``artifact_token`` — the
+        model/scaler generation — so a hot-swapped meta-learner or
+        refreshed scaler (e.g. a :mod:`repro.shard` version broadcast
+        installing a re-pretrained phi via
+        :func:`repro.persist.load_pretrained`) can never serve encodes
+        computed under the previous generation's artifacts.
         """
         if digest is None:
             digest = rows_digest(points)
-        key = (tuple(subspace.names), digest)
+        key = (tuple(subspace.names), state.artifact_token, digest)
         artifacts = self._encoded_rows.get(key)
         if artifacts is None:
             scaled = state.to_scaled(points)
@@ -359,7 +405,7 @@ class SessionManager:
     def predict_subspace(self, session_id, subspace, points):
         """Cached 0/1 UIS membership for subspace-coordinate points."""
         with self._lock:
-            self.flush()
+            self.flush(raise_errors=False)
             session = self.session(session_id)
             points = np.atleast_2d(np.asarray(points, dtype=np.float64))
             subsession = session._subsessions[subspace]
@@ -383,13 +429,14 @@ class SessionManager:
         if hasattr(rows, "iter_chunks"):
             return self.predict_many_store(session_ids, rows)
         with self._lock:
-            self.flush()
+            self.flush(raise_errors=False)
             rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
             sessions = {sid: self.session(sid) for sid in session_ids}
             results = {sid: np.ones(len(rows), dtype=np.int64)
                        for sid in sessions}
             groups = {}
             for sid, session in sessions.items():
+                self._require_subspaces(sid, session)
                 for subspace, subsession in session._subsessions.items():
                     if subsession.adapted is None:
                         raise RuntimeError(
@@ -426,10 +473,11 @@ class SessionManager:
         from ..store.scan import session_chunk_keep
 
         with self._lock:
-            self.flush()
+            self.flush(raise_errors=False)
             sessions = {sid: self.session(sid) for sid in session_ids}
             groups = {}
             for sid, session in sessions.items():
+                self._require_subspaces(sid, session)
                 for subspace, subsession in session._subsessions.items():
                     if subsession.adapted is None:
                         raise RuntimeError(
@@ -535,6 +583,11 @@ class SessionManager:
                 "adapted_total": int(self.adapted_total),
                 "sessions": sessions,
                 "queue": queue,
+                "session_errors": [
+                    {"session_id": int(sid),
+                     "errors": [dict(e) for e in entries]}
+                    for sid, entries in self._session_errors.items()
+                ],
                 "cache": self.cache.state_dict(),
                 "hulls": registry.state(),
             }
@@ -581,6 +634,10 @@ class SessionManager:
             labels = np.asarray(item["labels"]).astype(np.int64)
             manager._queue.append(
                 _Pending(session_id, by_key[key], labels, tuples))
+        for entry in snapshot.get("session_errors", []):
+            manager._session_errors[int(entry["session_id"])] = [
+                {"subspace": list(e["subspace"]), "error": str(e["error"])}
+                for e in entry["errors"]]
         manager.cache.load_state_dict(snapshot["cache"])
         return manager
 
@@ -594,6 +651,8 @@ class SessionManager:
                 "queued": len(self._queue),
                 "adapt_batches": self.adapt_batches,
                 "adapted_total": self.adapted_total,
+                "session_errors": sum(len(v) for v in
+                                      self._session_errors.values()),
                 "cache": self.cache.stats,
             }
 

@@ -1,0 +1,36 @@
+"""Typed failure modes of the sharded serving tier.
+
+Every way the gateway can fail a caller has its own exception type, so
+clients can react programmatically — shed load on :class:`Overloaded`,
+re-open a session elsewhere on :class:`WorkerCrashed` — instead of
+parsing message strings.  All of them subclass :class:`ShardError`
+(itself a ``RuntimeError``), so ``except ShardError`` catches the whole
+family.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ShardError", "Overloaded", "WorkerCrashed"]
+
+
+class ShardError(RuntimeError):
+    """A sharded-serving operation failed (base of the typed family)."""
+
+
+class Overloaded(ShardError):
+    """Admission control rejected the request: the target worker's
+    pending queue (or session table) is full.  The request was *not*
+    enqueued anywhere; retry after draining (``flush_all`` / ``poll``)
+    or add workers."""
+
+
+class WorkerCrashed(ShardError):
+    """The worker process owning the session died (or all workers did).
+
+    Raised promptly — never a hang — by any call routed to a dead
+    worker.  Sessions on the dead worker are lost (their online state
+    lived in that process); new sessions re-route to surviving workers
+    automatically.  A manager-level checkpoint
+    (:func:`repro.persist.save_manager`) is the recovery path for state
+    that must survive worker loss.
+    """

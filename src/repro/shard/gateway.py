@@ -1,0 +1,585 @@
+"""Front-end gateway sharding sessions across worker processes.
+
+:class:`ShardGateway` is the multi-process scaling tier over
+:class:`~repro.serve.SessionManager`: it spawns a pool of worker
+processes (``fork`` start method — the fitted LTE is inherited, then
+warm-started from a shared :mod:`repro.persist` checkpoint so every
+replica provably serves the checkpointed weights), routes each session
+deterministically to one worker (:mod:`repro.shard.routing`), and
+speaks the familiar submit / poll / flush / predict protocol over a
+pipe RPC.
+
+Scaling properties:
+
+* **parallel adaptation** — ``flush_all`` broadcasts the flush to every
+  worker *pipelined* (all requests sent before any reply is awaited),
+  so the fused adaptation batches of all workers run concurrently on
+  separate cores; the same pipelining drives ``predict_many`` scatter/
+  gather.  Per-worker results are bit-identical to a single-process
+  manager, so the gateway is too (``tests/shard``).
+* **admission control** — each worker has a bounded pending-batch queue
+  (``max_pending_per_worker``) and optionally a session cap; a full
+  queue rejects with a typed :class:`~repro.shard.errors.Overloaded`
+  *before* anything is enqueued, so overload never grows unbounded
+  state.
+* **error isolation** — a worker process dying raises a prompt, typed
+  :class:`~repro.shard.errors.WorkerCrashed` (never a hang) for the
+  sessions it owned; new sessions re-route to surviving workers; other
+  workers' sessions never notice.  Per-session flush errors stay
+  attributed inside each worker's manager and surface only in the
+  owning session's ``poll``.
+* **model-version broadcast** — :meth:`publish_model` rolls a
+  re-pretrained phi (or refreshed scalers) out worker by worker: each
+  worker drains its queue under the old model, installs the new
+  checkpoint, and bumps its artifact tokens (invalidating encode
+  caches); no session is dropped and the gateway verifies every
+  replica reports the same :func:`~repro.persist.model_fingerprint`.
+"""
+
+from __future__ import annotations
+
+import builtins
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from ..core.framework import LTE
+from ..persist import model_fingerprint, save_pretrained
+from . import errors as _errors
+from .errors import Overloaded, ShardError, WorkerCrashed
+from .routing import assign_worker
+from .worker import worker_main
+
+__all__ = ["ShardGateway"]
+
+
+class _Worker:
+    """Gateway-side handle of one worker process."""
+
+    __slots__ = ("index", "process", "conn", "alive", "pending",
+                 "local_by_global", "next_request")
+
+    def __init__(self, index, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self.pending = 0            # queued label batches (backpressure)
+        self.local_by_global = {}   # global session id -> worker-local id
+        self.next_request = 0
+
+
+class ShardGateway:
+    """Shard many exploration sessions across a pool of worker processes.
+
+    Parameters
+    ----------
+    lte:
+        The fitted :class:`~repro.core.LTE` system to replicate.
+    n_workers:
+        Pool size.  Each worker is a separate process with its own LTE
+        replica and :class:`~repro.serve.SessionManager`.
+    checkpoint_root:
+        Directory under which the gateway saves model-generation
+        checkpoints (``model-<fingerprint>`` subdirectories).  Default:
+        a private temporary directory, removed on :meth:`close`.
+    max_pending_per_worker:
+        Bound on un-flushed label batches per worker; submissions beyond
+        it raise :class:`~repro.shard.errors.Overloaded`.
+    max_sessions_per_worker:
+        Optional cap on live sessions per worker; ``open_session``
+        beyond it raises :class:`~repro.shard.errors.Overloaded`.
+    rpc_timeout:
+        Seconds to wait for a single worker reply before raising
+        :class:`~repro.shard.errors.ShardError` (a *dead* worker is
+        detected promptly regardless); ``None`` disables the timeout.
+
+    Example
+    -------
+    ::
+
+        with ShardGateway(lte, n_workers=4) as gateway:
+            sid = gateway.open_session(variant="meta_star")
+            for subspace, tuples in gateway.initial_tuples(sid).items():
+                gateway.submit_labels(sid, subspace, user_labels(tuples))
+            gateway.flush_all()            # all workers adapt in parallel
+            mask = gateway.predict(sid, table.data)
+    """
+
+    def __init__(self, lte, n_workers=2, checkpoint_root=None,
+                 max_pending_per_worker=256, max_sessions_per_worker=None,
+                 rpc_timeout=600.0):
+        if not isinstance(lte, LTE):
+            raise TypeError("ShardGateway needs a fitted LTE system")
+        if not lte.states:
+            raise ValueError("the LTE system is not fitted; run "
+                             "fit_offline before sharding it")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.lte = lte
+        self.max_pending_per_worker = int(max_pending_per_worker)
+        self.max_sessions_per_worker = max_sessions_per_worker
+        self.rpc_timeout = rpc_timeout
+        self._owns_root = checkpoint_root is None
+        self._root = checkpoint_root or tempfile.mkdtemp(
+            prefix="repro-shard-")
+        self.model_version = model_fingerprint(lte)
+        checkpoint_dir = self._generation_dir(self.model_version)
+        save_pretrained(checkpoint_dir, lte)
+        # Workers fork *before* any sessions exist, so each child is a
+        # clean replica: inherited offline artifacts, checkpointed
+        # weights re-installed in worker_main.
+        context = multiprocessing.get_context("fork")
+        self._workers = []
+        for index in range(int(n_workers)):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=worker_main,
+                args=(child_conn, lte, checkpoint_dir, index),
+                daemon=True, name="repro-shard-worker-{}".format(index))
+            process.start()
+            child_conn.close()
+            self._workers.append(_Worker(index, process, parent_conn))
+        self._sessions = {}      # global sid -> worker index
+        self._next_id = 0
+        self._closed = False
+        # Confirm every replica warm-started to the published model.
+        for worker in self._workers:
+            reply = self._call(worker, "ping", {})
+            if reply["model"] != self.model_version:
+                raise ShardError(
+                    "worker {} warm-started to model {} instead of the "
+                    "published {}".format(worker.index, reply["model"],
+                                          self.model_version))
+
+    # ------------------------------------------------------------------
+    # RPC plumbing
+    # ------------------------------------------------------------------
+    def _post(self, worker, method, kwargs):
+        """Send one request without waiting (pipelined fan-out)."""
+        if not worker.alive:
+            raise WorkerCrashed(
+                "worker {} is dead; its sessions are lost (re-open them "
+                "or restore a manager checkpoint)".format(worker.index))
+        request_id = worker.next_request
+        worker.next_request += 1
+        try:
+            worker.conn.send((request_id, method, kwargs))
+        except (BrokenPipeError, OSError):
+            self._mark_dead(worker)
+            raise WorkerCrashed(
+                "worker {} died before accepting {!r}".format(
+                    worker.index, method))
+        return request_id
+
+    def _wait(self, worker, request_id, method):
+        """Await one reply; detect worker death promptly (never hang)."""
+        deadline = None if self.rpc_timeout is None \
+            else time.monotonic() + self.rpc_timeout
+        while True:
+            try:
+                if not worker.conn.poll(0.05):
+                    if not worker.process.is_alive() \
+                            and not worker.conn.poll(0.2):
+                        self._mark_dead(worker)
+                        raise WorkerCrashed(
+                            "worker {} died during {!r}; its sessions "
+                            "are lost".format(worker.index, method))
+                    if deadline is not None \
+                            and time.monotonic() > deadline:
+                        raise ShardError(
+                            "worker {} did not answer {!r} within "
+                            "{}s".format(worker.index, method,
+                                         self.rpc_timeout))
+                    continue
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                self._mark_dead(worker)
+                raise WorkerCrashed(
+                    "worker {} died during {!r}; its sessions are "
+                    "lost".format(worker.index, method))
+            reply_id, status, payload = message
+            if reply_id < request_id:
+                # Stale reply from a pipelined call whose wait was
+                # abandoned (e.g. another worker crashed first and the
+                # fan-out raised before collecting this one).  Workers
+                # answer strictly in order, so it is safe to drop.
+                continue
+            if reply_id > request_id:
+                self._mark_dead(worker)
+                raise ShardError(
+                    "worker {} answered request {} while {} was "
+                    "expected; the RPC stream is corrupt".format(
+                        worker.index, reply_id, request_id))
+            if status == "error":
+                raise self._rebuild_exception(worker, method, payload)
+            return payload
+
+    def _call(self, worker, method, kwargs):
+        return self._wait(worker, self._post(worker, method, kwargs),
+                          method)
+
+    @staticmethod
+    def _rebuild_exception(worker, method, payload):
+        """Re-raise a worker-side exception under its original type."""
+        type_name, message = payload
+        exc_type = getattr(_errors, type_name, None) \
+            or getattr(builtins, type_name, None)
+        if isinstance(exc_type, type) and issubclass(exc_type, Exception):
+            return exc_type(message)
+        return ShardError("worker {} failed {!r}: {}: {}".format(
+            worker.index, method, type_name, message))
+
+    def _mark_dead(self, worker):
+        if not worker.alive:
+            return
+        worker.alive = False
+        worker.pending = 0
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def _alive(self):
+        """Refresh liveness (a worker can die between calls) and return
+        the live worker list."""
+        for worker in self._workers:
+            if worker.alive and not worker.process.is_alive():
+                self._mark_dead(worker)
+        return [w for w in self._workers if w.alive]
+
+    def _worker_of(self, session_id):
+        if session_id not in self._sessions:
+            raise KeyError("unknown session id {!r}".format(session_id))
+        worker = self._workers[self._sessions[session_id]]
+        if worker.alive and not worker.process.is_alive():
+            self._mark_dead(worker)
+        if not worker.alive:
+            raise WorkerCrashed(
+                "session {} lived on worker {}, which crashed; its "
+                "online state is lost — open a new session".format(
+                    session_id, worker.index))
+        return worker
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def open_session(self, variant="meta_star", subspaces=None, seed=None):
+        """Open a session on its deterministically routed worker.
+
+        Returns a gateway-global session id.  Raises
+        :class:`Overloaded` when the target worker's session table is
+        full and :class:`WorkerCrashed` when no worker is alive.
+        """
+        self._require_open()
+        alive = [w.alive and w.process.is_alive() for w in self._workers]
+        index = assign_worker(self._next_id, alive)
+        if index is None:
+            raise WorkerCrashed("all workers are dead; the gateway "
+                                "cannot place new sessions")
+        worker = self._workers[index]
+        if self.max_sessions_per_worker is not None and \
+                len(worker.local_by_global) >= self.max_sessions_per_worker:
+            raise Overloaded(
+                "worker {} already holds {} sessions (cap {}); close "
+                "sessions or add workers".format(
+                    worker.index, len(worker.local_by_global),
+                    self.max_sessions_per_worker))
+        local_id = self._call(worker, "open_session",
+                              {"variant": variant, "subspaces": subspaces,
+                               "seed": seed})
+        session_id = self._next_id
+        self._next_id += 1
+        self._sessions[session_id] = worker.index
+        worker.local_by_global[session_id] = local_id
+        return session_id
+
+    def close_session(self, session_id):
+        """Close a session and drop its queued work on its worker."""
+        worker = self._worker_of(session_id)
+        queued = self._call(worker, "close_session",
+                            {"session_id":
+                             worker.local_by_global[session_id]})
+        worker.pending = int(queued)
+        del worker.local_by_global[session_id]
+        del self._sessions[session_id]
+
+    @property
+    def n_sessions(self):
+        return len(self._sessions)
+
+    @property
+    def n_workers(self):
+        return len(self._workers)
+
+    @property
+    def alive_workers(self):
+        return len(self._alive())
+
+    # ------------------------------------------------------------------
+    # Label submission (admission-controlled)
+    # ------------------------------------------------------------------
+    def initial_tuples(self, session_id):
+        """{subspace: raw tuples} the session's user must label."""
+        worker = self._worker_of(session_id)
+        return self._call(worker, "initial_tuples",
+                          {"session_id":
+                           worker.local_by_global[session_id]})
+
+    def _admit(self, worker):
+        if worker.pending >= self.max_pending_per_worker:
+            raise Overloaded(
+                "worker {} has {} pending label batches (cap {}); poll "
+                "or flush before submitting more".format(
+                    worker.index, worker.pending,
+                    self.max_pending_per_worker))
+
+    def submit_labels(self, session_id, subspace, labels):
+        """Queue a session's initial labels for one subspace.
+
+        Validation happens synchronously on the owning worker;
+        :class:`Overloaded` rejects *before* anything is enqueued when
+        the worker's pending queue is full.
+        """
+        worker = self._worker_of(session_id)
+        self._admit(worker)
+        queued = self._call(worker, "submit_labels",
+                            {"session_id":
+                             worker.local_by_global[session_id],
+                             "subspace": subspace,
+                             "labels": np.asarray(labels)})
+        worker.pending = int(queued)
+
+    def submit_all_labels(self, session_id, labels_by_subspace):
+        for subspace, labels in labels_by_subspace.items():
+            self.submit_labels(session_id, subspace, labels)
+
+    def add_labels(self, session_id, subspace, tuples, labels):
+        """Queue an iterative-exploration round (admission-controlled)."""
+        worker = self._worker_of(session_id)
+        self._admit(worker)
+        queued = self._call(worker, "add_labels",
+                            {"session_id":
+                             worker.local_by_global[session_id],
+                             "subspace": subspace,
+                             "tuples": np.asarray(tuples),
+                             "labels": np.asarray(labels)})
+        worker.pending = int(queued)
+
+    # ------------------------------------------------------------------
+    # Batched adaptation and prediction
+    # ------------------------------------------------------------------
+    def flush_all(self):
+        """Flush every worker's queue — all fused batches in parallel.
+
+        Pipelined: every worker receives its flush before any reply is
+        awaited, so the per-worker adaptation programs run concurrently
+        on separate cores.  Returns the total number of (session,
+        subspace) adaptations performed across the pool.
+        """
+        self._require_open()
+        posted = [(w, self._post(w, "flush", {})) for w in self._alive()]
+        done = 0
+        for worker, request_id in posted:
+            reply = self._wait(worker, request_id, "flush")
+            worker.pending = int(reply["queued"])
+            done += int(reply["done"])
+        return done
+
+    # The single-process manager calls this ``flush``; keep the alias so
+    # code written against SessionManager ports over unchanged.
+    flush = flush_all
+
+    def poll(self, session_id, advance=True):
+        """The session's serving state (see ``SessionManager.poll``).
+
+        ``advance=True`` flushes the *owning worker* first; other
+        workers' queues are untouched (use :meth:`flush_all` for a
+        pool-wide barrier).  Flush errors attributed to this session
+        surface in ``result["errors"]``; another session's bad batch
+        never raises here, even across shards.
+        """
+        worker = self._worker_of(session_id)
+        result = self._call(worker, "poll",
+                            {"session_id":
+                             worker.local_by_global[session_id],
+                             "advance": advance})
+        worker.pending = int(result.pop("worker_queued"))
+        return result
+
+    def predict(self, session_id, rows):
+        """Cached 0/1 UIR membership for full-space rows."""
+        worker = self._worker_of(session_id)
+        return self._call(worker, "predict",
+                          {"session_id":
+                           worker.local_by_global[session_id],
+                           "rows": rows})
+
+    def predict_subspace(self, session_id, subspace, points):
+        """Cached 0/1 UIS membership for subspace-coordinate points."""
+        worker = self._worker_of(session_id)
+        return self._call(worker, "predict_subspace",
+                          {"session_id":
+                           worker.local_by_global[session_id],
+                           "subspace": subspace, "points": points})
+
+    def predict_many(self, session_ids, rows):
+        """Predictions for many sessions — scatter/gather across shards.
+
+        Sessions are grouped by owning worker; each worker scores its
+        group in stacked forward passes (the single-process fused path)
+        while the groups run concurrently across processes.  Returns
+        ``{session_id: (n,) predictions}``.
+        """
+        self._require_open()
+        by_worker = {}
+        for session_id in session_ids:
+            worker = self._worker_of(session_id)
+            by_worker.setdefault(worker.index, []).append(session_id)
+        posted = []
+        for index, group in by_worker.items():
+            worker = self._workers[index]
+            local = [worker.local_by_global[sid] for sid in group]
+            posted.append((worker, group,
+                           self._post(worker, "predict_many",
+                                      {"session_ids": local,
+                                       "rows": rows})))
+        results = {}
+        for worker, group, request_id in posted:
+            reply = self._wait(worker, request_id, "predict_many")
+            for session_id in group:
+                results[session_id] = \
+                    reply[worker.local_by_global[session_id]]
+        return results
+
+    def retrieve(self, session_id, rows=None, limit=None):
+        """Rows predicted interesting for the session (worker-cached)."""
+        worker = self._worker_of(session_id)
+        return self._call(worker, "retrieve",
+                          {"session_id":
+                           worker.local_by_global[session_id],
+                           "rows": rows, "limit": limit})
+
+    # ------------------------------------------------------------------
+    # Model-version broadcast
+    # ------------------------------------------------------------------
+    def _generation_dir(self, fingerprint):
+        return os.path.join(self._root, "model-{}".format(fingerprint))
+
+    def publish_model(self, source):
+        """Roll a new model out to every worker, one worker at a time.
+
+        ``source`` is either a fitted :class:`~repro.core.LTE` carrying
+        the re-pretrained weights (saved under the gateway's checkpoint
+        root first) or a path to an existing ``lte-pretrained``
+        checkpoint.  Each worker drains its pending queue under the old
+        model, installs the new weights, and bumps its artifact tokens —
+        live sessions and their adapted models are untouched, so no
+        session is dropped.  The gateway verifies every worker reports
+        the new :func:`~repro.persist.model_fingerprint` and returns it.
+        """
+        self._require_open()
+        if isinstance(source, LTE):
+            fingerprint = model_fingerprint(source)
+            path = self._generation_dir(fingerprint)
+            save_pretrained(path, source)
+        else:
+            path = source
+        new_version = None
+        for worker in self._alive():
+            reported = self._call(worker, "model_update", {"path": path})
+            if new_version is None:
+                new_version = reported
+            elif reported != new_version:
+                raise ShardError(
+                    "worker {} installed model {} while earlier workers "
+                    "installed {}; replicas have diverged".format(
+                        worker.index, reported, new_version))
+        if new_version is None:
+            raise WorkerCrashed("all workers are dead; nothing to "
+                                "broadcast to")
+        self.model_version = new_version
+        return new_version
+
+    # ------------------------------------------------------------------
+    # Drain / shutdown / stats
+    # ------------------------------------------------------------------
+    def stats(self):
+        """Pool-level counters plus each worker's manager stats."""
+        self._require_open()
+        posted = [(w, self._post(w, "stats", {})) for w in self._alive()]
+        workers = [self._wait(w, rid, "stats") for w, rid in posted]
+        return {
+            "sessions": self.n_sessions,
+            "workers": workers,
+            "alive_workers": len(workers),
+            "model": self.model_version,
+            "pending": {w.index: w.pending for w in self._workers
+                        if w.alive},
+        }
+
+    def drain(self):
+        """Flush every worker until no queued work remains anywhere."""
+        total = 0
+        while True:
+            done = self.flush_all()
+            total += done
+            if done == 0 and all(w.pending == 0 for w in self._alive()):
+                return total
+
+    def close(self, drain=True):
+        """Shut the pool down gracefully (idempotent).
+
+        With ``drain=True`` every worker finishes its queued
+        adaptations before exiting; workers that refuse to die are
+        terminated.  The gateway's private checkpoint root (when it
+        created one) is removed.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            try:
+                request_id = worker.next_request
+                worker.next_request += 1
+                worker.conn.send((request_id, "shutdown",
+                                  {"drain": bool(drain)}))
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    if worker.conn.poll(0.05):
+                        worker.conn.recv()
+                        break
+                    if not worker.process.is_alive():
+                        break
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            worker.process.join(timeout=10.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            self._mark_dead(worker)
+        if self._owns_root:
+            shutil.rmtree(self._root, ignore_errors=True)
+
+    def _require_open(self):
+        if self._closed:
+            raise ShardError("the gateway is closed")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
+    def __del__(self):
+        try:
+            self.close(drain=False)
+        except Exception:
+            pass

@@ -1,0 +1,43 @@
+"""Deterministic session-to-worker routing.
+
+Sessions are sticky: a session's online state (adapted classifiers,
+few-shot regions, label history) lives in exactly one worker process, so
+every call for a session must reach the same worker.  The gateway
+assigns monotonically increasing global session ids and routes each to
+its *home worker* by modulo — deterministic, stateless and uniformly
+balanced for the gateway's sequential id stream.
+
+When the home worker is dead, *new* sessions probe forward to the next
+surviving worker (still deterministic given the same liveness picture);
+*existing* sessions raise :class:`~repro.shard.errors.WorkerCrashed`
+instead of silently landing on a replica that has none of their state.
+"""
+
+from __future__ import annotations
+
+__all__ = ["home_worker", "assign_worker"]
+
+
+def home_worker(session_id, n_workers):
+    """The worker index a session id deterministically belongs to."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    return int(session_id) % int(n_workers)
+
+
+def assign_worker(session_id, alive):
+    """Pick the worker for a *new* session given per-worker liveness.
+
+    ``alive`` is a boolean sequence (index = worker).  Starts at the
+    session's home worker and probes forward cyclically to the first
+    live one, so routing stays deterministic for a fixed liveness
+    picture and sessions spread evenly while all workers are up.
+    Returns the worker index, or ``None`` when every worker is dead.
+    """
+    n_workers = len(alive)
+    home = home_worker(session_id, n_workers)
+    for step in range(n_workers):
+        index = (home + step) % n_workers
+        if alive[index]:
+            return index
+    return None

@@ -1,0 +1,154 @@
+"""The shard worker process: one LTE replica behind a pipe-RPC loop.
+
+Each worker owns a full single-process serving stack — an LTE replica
+warm-started from the shared :mod:`repro.persist` checkpoint plus a
+:class:`~repro.serve.SessionManager` — and speaks a tiny message-passing
+protocol over a ``multiprocessing`` pipe:
+
+    request:  ``(request_id, method, kwargs)``
+    reply:    ``(request_id, "ok", result)`` or
+              ``(request_id, "error", (exception_type_name, message))``
+
+The worker is single-threaded and processes requests strictly in order,
+so the per-worker view is exactly the single-process
+:class:`~repro.serve.SessionManager` semantics — which is what makes
+gateway predictions bit-identical to an unsharded manager.  Errors are
+*replies*, never crashes: an exception inside a handler is serialized
+back to the gateway (which re-raises it under the same type), and
+per-session flush errors stay inside the manager's attributed error
+state until that session polls.
+
+Model-version broadcast: ``model_update`` first drains the pending
+queue (label batches submitted under the old model adapt under it —
+nothing is dropped), then installs the new pretrained weights via
+:func:`repro.persist.load_pretrained`, which bumps every subspace's
+artifact token so the encode cache can never serve stale encodes.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..persist import load_pretrained, model_fingerprint
+from ..serve import SessionManager
+
+__all__ = ["worker_main"]
+
+
+def worker_main(conn, lte, checkpoint_dir, worker_index):
+    """Run the worker RPC loop until ``shutdown`` or pipe EOF.
+
+    Parameters
+    ----------
+    conn:
+        The worker end of a duplex ``multiprocessing`` pipe.
+    lte:
+        The fitted LTE replica (inherited through ``fork``; its learned
+        weights are immediately re-installed from ``checkpoint_dir``, so
+        the replica provably serves the checkpointed model).
+    checkpoint_dir:
+        Shared ``lte-pretrained`` checkpoint to warm-start from, or
+        ``None`` to serve the inherited weights as-is.
+    worker_index:
+        This worker's index in the gateway's pool (for diagnostics).
+    """
+    if checkpoint_dir is not None:
+        load_pretrained(checkpoint_dir, lte)
+    manager = SessionManager(lte)
+    debug = {"crash_on_flush": False}
+
+    def worker_stats():
+        stats = manager.stats
+        stats["worker"] = int(worker_index)
+        stats["model"] = model_fingerprint(lte)
+        return stats
+
+    def handle(method, kwargs):
+        if method == "ping":
+            return {"worker": int(worker_index),
+                    "model": model_fingerprint(lte)}
+        if method == "open_session":
+            return manager.open_session(**kwargs)
+        if method == "close_session":
+            manager.close_session(kwargs["session_id"])
+            return manager.stats["queued"]
+        if method == "initial_tuples":
+            return manager.initial_tuples(kwargs["session_id"])
+        if method == "submit_labels":
+            manager.submit_labels(kwargs["session_id"], kwargs["subspace"],
+                                  kwargs["labels"])
+            return manager.stats["queued"]
+        if method == "add_labels":
+            manager.add_labels(kwargs["session_id"], kwargs["subspace"],
+                               kwargs["tuples"], kwargs["labels"])
+            return manager.stats["queued"]
+        if method == "flush":
+            if debug["crash_on_flush"]:
+                # Test hook: die exactly where a real worker would —
+                # mid-flush, with label batches still queued.
+                os._exit(17)
+            done = manager.flush(raise_errors=False)
+            return {"done": done, "queued": manager.stats["queued"]}
+        if method == "poll":
+            result = manager.poll(kwargs["session_id"],
+                                  advance=kwargs.get("advance", True))
+            result["worker_queued"] = manager.stats["queued"]
+            return result
+        if method == "predict":
+            return manager.predict(kwargs["session_id"], kwargs["rows"])
+        if method == "predict_subspace":
+            return manager.predict_subspace(
+                kwargs["session_id"], kwargs["subspace"], kwargs["points"])
+        if method == "predict_many":
+            return manager.predict_many(kwargs["session_ids"],
+                                        kwargs["rows"])
+        if method == "retrieve":
+            return manager.retrieve(kwargs["session_id"],
+                                    rows=kwargs.get("rows"),
+                                    limit=kwargs.get("limit"))
+        if method == "model_update":
+            # Drain first: batches labelled under the old model adapt
+            # under it, exactly as an unsharded manager would have —
+            # the broadcast drops no session and no queued work.
+            manager.flush(raise_errors=False)
+            load_pretrained(kwargs["path"], lte)
+            return model_fingerprint(lte)
+        if method == "stats":
+            return worker_stats()
+        if method == "_debug":
+            # Test hooks only: fault injection the gateway tests use to
+            # exercise crash and error-attribution paths for real.
+            session_id = kwargs.pop("corrupt_session", None)
+            if session_id is not None:
+                def boom(labels):
+                    raise RuntimeError("corrupt session")
+                session = manager.session(session_id)
+                for subsession in session._subsessions.values():
+                    subsession.build_initial_request = boom
+            debug.update(kwargs)
+            return True
+        raise ValueError("unknown RPC method {!r}".format(method))
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break   # gateway went away; nothing left to serve
+        request_id, method, kwargs = message
+        if method == "shutdown":
+            # Graceful drain: every queued adaptation still completes
+            # (per-session errors stay attributed, never raised here).
+            try:
+                manager.flush(raise_errors=False)
+            except Exception:
+                pass
+            conn.send((request_id, "ok", worker_stats()))
+            break
+        try:
+            result = handle(method, kwargs or {})
+        except Exception as error:
+            conn.send((request_id, "error",
+                       (type(error).__name__, str(error))))
+        else:
+            conn.send((request_id, "ok", result))
+    conn.close()

@@ -1,0 +1,36 @@
+"""Helpers shared by the sharded-serving tests (imported, not fixtures)."""
+
+import copy
+
+import numpy as np
+
+
+def perturb_phi(lte, scale=1.5, shift=0.1):
+    """A deep copy of ``lte`` whose meta-learned weights differ — a
+    stand-in for a re-pretrained phi with the same identity."""
+    swapped = copy.deepcopy(lte)
+    for state in swapped.states.values():
+        if state.trainer is None:
+            continue
+        sd = state.trainer.state_dict()
+
+        def twist(node):
+            if isinstance(node, np.ndarray) and \
+                    np.issubdtype(node.dtype, np.floating):
+                return node * scale + shift
+            if isinstance(node, dict):
+                return {k: twist(v) for k, v in node.items()}
+            if isinstance(node, list):
+                return [twist(v) for v in node]
+            return node
+
+        sd["model"] = twist(sd["model"])
+        state.trainer.load_state_dict(sd)
+    return swapped
+
+
+def feed_session(gateway, oracle, session_id):
+    """Label every initial tuple of a session through the oracle."""
+    for subspace, tuples in gateway.initial_tuples(session_id).items():
+        gateway.submit_labels(session_id, subspace,
+                              oracle.label_subspace(subspace, tuples))

@@ -1,0 +1,52 @@
+"""Shared fixtures for the sharded-serving tests.
+
+One tiny trained LTE per test session (workers fork from it and
+warm-start from the gateway's checkpoint) plus a ground-truth oracle
+factory; the phi-perturbation and session-feeding helpers live in
+``_helpers.py``.
+"""
+
+import pytest
+
+from repro.core import LTE, LTEConfig
+from repro.core.meta_training import MetaHyperParams
+from repro.core.uis import UISMode
+from repro.data import make_car
+
+
+@pytest.fixture(scope="session")
+def shard_lte():
+    table = make_car(n_rows=1500, seed=41)
+    lte = LTE(LTEConfig(budget=20, ku=25, kq=30, n_tasks=6,
+                        meta=MetaHyperParams(epochs=1, local_steps=2,
+                                             batch_size=3,
+                                             pretrain_epochs=1),
+                        basic_steps=15, online_steps=4))
+    lte.fit_offline(table)
+    return lte
+
+
+@pytest.fixture(scope="session")
+def shard_subspaces(shard_lte):
+    return list(shard_lte.states)[:2]
+
+
+@pytest.fixture(scope="session")
+def make_oracle(shard_lte, shard_subspaces):
+    """Factory: a distinct conjunctive ground-truth oracle per seed."""
+    from repro.bench import subspace_region
+    from repro.explore import ConjunctiveOracle
+
+    def factory(seed, subspaces=None):
+        subspaces = subspaces or shard_subspaces
+        return ConjunctiveOracle({
+            s: subspace_region(shard_lte.states[s], UISMode(1, 10),
+                               seed=seed + i)
+            for i, s in enumerate(subspaces)})
+
+    return factory
+
+
+@pytest.fixture()
+def eval_rows(shard_lte):
+    return shard_lte.table.sample_rows(200, seed=5)

@@ -1,0 +1,107 @@
+"""Model-version broadcast: rolling phi updates without dropping work."""
+
+import numpy as np
+import pytest
+from _helpers import feed_session, perturb_phi
+
+from repro.persist import load_pretrained, model_fingerprint, save_pretrained
+from repro.serve import SessionManager
+from repro.shard import ShardGateway
+
+pytestmark = pytest.mark.shard
+
+
+class TestBroadcast:
+    def test_rolls_without_dropping_sessions(self, shard_lte,
+                                             shard_subspaces, make_oracle,
+                                             eval_rows):
+        """Live, already-adapted sessions survive the broadcast and keep
+        serving their (unchanged) adapted models bit-identically."""
+        oracle = make_oracle(29)
+        retrained = perturb_phi(shard_lte)
+        with ShardGateway(shard_lte, n_workers=2) as gateway:
+            old_version = gateway.model_version
+            sids = [gateway.open_session(subspaces=shard_subspaces, seed=i)
+                    for i in range(4)]
+            for sid in sids:
+                feed_session(gateway, oracle, sid)
+            gateway.flush_all()
+            before = gateway.predict_many(sids, eval_rows)
+
+            new_version = gateway.publish_model(retrained)
+            assert new_version == model_fingerprint(retrained)
+            assert new_version != old_version
+            assert gateway.model_version == new_version
+            stats = gateway.stats()
+            assert all(w["model"] == new_version
+                       for w in stats["workers"])
+
+            # Every session is still live; adapted models were trained
+            # before the broadcast, so their predictions are unchanged.
+            after = gateway.predict_many(sids, eval_rows)
+            for sid in sids:
+                assert gateway.poll(sid)["errors"] == []
+                assert np.array_equal(after[sid], before[sid])
+
+    def test_queued_work_drains_under_old_model(self, shard_lte,
+                                                shard_subspaces,
+                                                make_oracle):
+        """Batches submitted before the broadcast adapt (under the old
+        model) rather than being dropped by the roll."""
+        oracle = make_oracle(37)
+        with ShardGateway(shard_lte, n_workers=2) as gateway:
+            sids = [gateway.open_session(subspaces=shard_subspaces, seed=i)
+                    for i in range(3)]
+            for sid in sids:
+                feed_session(gateway, oracle, sid)     # queued, unflushed
+            gateway.publish_model(perturb_phi(shard_lte))
+            for sid in sids:
+                result = gateway.poll(sid, advance=False)
+                assert result["pending"] == []
+                assert len(result["ready"]) == 2
+                assert result["errors"] == []
+
+    def test_post_broadcast_parity_with_fresh_manager(self, shard_lte,
+                                                      shard_subspaces,
+                                                      make_oracle,
+                                                      eval_rows, tmp_path):
+        """Sessions adapted *after* the broadcast run under the new phi:
+        bit-identical to a fresh single-process manager serving the new
+        checkpoint."""
+        import copy
+
+        oracle = make_oracle(41)
+        retrained = perturb_phi(shard_lte)
+        save_pretrained(tmp_path / "phi-v2", retrained)
+
+        with ShardGateway(shard_lte, n_workers=2) as gateway:
+            gateway.publish_model(str(tmp_path / "phi-v2"))
+            sids = [gateway.open_session(variant="meta_star",
+                                         subspaces=shard_subspaces, seed=s)
+                    for s in (3, 4)]
+            for sid in sids:
+                feed_session(gateway, oracle, sid)
+            gateway.flush_all()
+            sharded = gateway.predict_many(sids, eval_rows)
+
+        reference_lte = copy.deepcopy(shard_lte)
+        load_pretrained(tmp_path / "phi-v2", reference_lte)
+        manager = SessionManager(reference_lte)
+        ref_sids = [manager.open_session(variant="meta_star",
+                                         subspaces=shard_subspaces, seed=s)
+                    for s in (3, 4)]
+        for sid in ref_sids:
+            for subspace, tuples in manager.initial_tuples(sid).items():
+                manager.submit_labels(
+                    sid, subspace, oracle.label_subspace(subspace, tuples))
+        manager.flush()
+        reference = manager.predict_many(ref_sids, eval_rows)
+        for sid, ref_sid in zip(sids, ref_sids):
+            assert np.array_equal(sharded[sid], reference[ref_sid])
+
+    def test_replicas_warm_start_to_published_fingerprint(self, shard_lte):
+        with ShardGateway(shard_lte, n_workers=2) as gateway:
+            assert gateway.model_version == model_fingerprint(shard_lte)
+            stats = gateway.stats()
+            assert all(w["model"] == gateway.model_version
+                       for w in stats["workers"])

@@ -1,0 +1,219 @@
+"""Gateway behavior: routing, parity, backpressure, crash isolation."""
+
+import numpy as np
+import pytest
+from _helpers import feed_session, perturb_phi
+
+from repro.serve import SessionManager
+from repro.shard import (Overloaded, ShardGateway, WorkerCrashed,
+                         assign_worker, home_worker)
+
+pytestmark = pytest.mark.shard
+
+
+class TestRouting:
+    def test_home_worker_is_modulo(self):
+        assert [home_worker(i, 3) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_home_worker_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            home_worker(0, 0)
+
+    def test_assign_probes_past_dead_workers(self):
+        alive = [True, False, True]
+        assert assign_worker(0, alive) == 0
+        assert assign_worker(1, alive) == 2    # home 1 dead -> probe on
+        assert assign_worker(2, alive) == 2
+        assert assign_worker(4, alive) == 2
+
+    def test_assign_none_when_all_dead(self):
+        assert assign_worker(7, [False, False]) is None
+
+
+class TestGatewayProtocol:
+    def test_sessions_spread_across_workers(self, shard_lte,
+                                            shard_subspaces, make_oracle):
+        with ShardGateway(shard_lte, n_workers=2) as gateway:
+            sids = [gateway.open_session(subspaces=shard_subspaces, seed=i)
+                    for i in range(4)]
+            owners = {gateway._sessions[sid] for sid in sids}
+            assert owners == {0, 1}
+            oracle = make_oracle(3)
+            for sid in sids:
+                feed_session(gateway, oracle, sid)
+            assert gateway.flush_all() > 0
+            for sid in sids:
+                result = gateway.poll(sid)
+                assert result["pending"] == []
+                assert result["errors"] == []
+                assert len(result["ready"]) == 2
+
+    def test_parity_with_single_process_manager(self, shard_lte,
+                                                shard_subspaces,
+                                                make_oracle, eval_rows):
+        """Gateway predictions must be bit-identical to an unsharded
+        SessionManager fed the same sessions, labels and seeds."""
+        oracle = make_oracle(11)
+        seeds = list(range(6))
+        with ShardGateway(shard_lte, n_workers=2) as gateway:
+            sids = [gateway.open_session(variant="meta_star",
+                                         subspaces=shard_subspaces, seed=s)
+                    for s in seeds]
+            for sid in sids:
+                feed_session(gateway, oracle, sid)
+            gateway.flush_all()
+            sharded = gateway.predict_many(sids, eval_rows)
+            single = {sid: gateway.predict(sid, eval_rows)
+                      for sid in sids}
+
+        manager = SessionManager(shard_lte)
+        ref_sids = [manager.open_session(variant="meta_star",
+                                         subspaces=shard_subspaces, seed=s)
+                    for s in seeds]
+        for sid in ref_sids:
+            for subspace, tuples in manager.initial_tuples(sid).items():
+                manager.submit_labels(
+                    sid, subspace, oracle.label_subspace(subspace, tuples))
+        manager.flush()
+        reference = manager.predict_many(ref_sids, eval_rows)
+
+        for sid, ref_sid in zip(sids, ref_sids):
+            assert np.array_equal(sharded[sid], reference[ref_sid])
+            assert np.array_equal(single[sid], reference[ref_sid])
+
+    def test_iterative_rounds_and_retrieve(self, shard_lte, shard_subspaces,
+                                           make_oracle, eval_rows):
+        oracle = make_oracle(5)
+        subspace = shard_subspaces[0]
+        state = shard_lte.states[subspace]
+        with ShardGateway(shard_lte, n_workers=2) as gateway:
+            sid = gateway.open_session(subspaces=[subspace], seed=1)
+            feed_session(gateway, oracle, sid)
+            gateway.flush_all()
+            extra = state.to_raw(state.data[10:14])
+            gateway.add_labels(sid, subspace, extra,
+                               oracle.label_subspace(subspace, extra))
+            gateway.flush_all()
+            predictions = gateway.predict(sid, eval_rows)
+            retrieved = gateway.retrieve(sid, rows=eval_rows)
+            assert len(retrieved) == int(predictions.sum())
+
+    def test_errors_attributed_across_sessions(self, shard_lte,
+                                               shard_subspaces,
+                                               make_oracle):
+        """One session's bad flush stays in its own poll, even when both
+        sessions share a worker."""
+        oracle = make_oracle(13)
+        with ShardGateway(shard_lte, n_workers=1) as gateway:
+            sid_bad = gateway.open_session(subspaces=shard_subspaces,
+                                           seed=0)
+            sid_good = gateway.open_session(subspaces=shard_subspaces,
+                                            seed=1)
+            worker = gateway._workers[0]
+            gateway._call(worker, "_debug",
+                          {"corrupt_session":
+                           worker.local_by_global[sid_bad]})
+            feed_session(gateway, oracle, sid_bad)
+            feed_session(gateway, oracle, sid_good)
+            good = gateway.poll(sid_good)        # flushes the worker
+            assert good["errors"] == []
+            assert len(good["ready"]) == 2
+            bad = gateway.poll(sid_bad)
+            assert len(bad["errors"]) == 2       # one per subspace
+            assert all("corrupt session" in e["error"]
+                       for e in bad["errors"])
+            assert gateway.poll(sid_bad)["errors"] == []
+
+
+class TestAdmissionControl:
+    def test_backpressure_rejects_before_enqueue(self, shard_lte,
+                                                 shard_subspaces,
+                                                 make_oracle):
+        oracle = make_oracle(17)
+        subspace = shard_subspaces[0]
+        with ShardGateway(shard_lte, n_workers=1,
+                          max_pending_per_worker=1) as gateway:
+            first = gateway.open_session(subspaces=[subspace], seed=0)
+            second = gateway.open_session(subspaces=[subspace], seed=1)
+            tuples = gateway.initial_tuples(first)[subspace]
+            labels = oracle.label_subspace(subspace, tuples)
+            gateway.submit_labels(first, subspace, labels)
+            with pytest.raises(Overloaded):
+                gateway.submit_labels(second, subspace, labels)
+            # Draining restores admission; the rejected batch was never
+            # partially enqueued.
+            gateway.flush_all()
+            gateway.submit_labels(second, subspace, labels)
+            gateway.flush_all()
+            assert gateway.poll(second)["ready"] == [subspace]
+
+    def test_session_cap(self, shard_lte):
+        with ShardGateway(shard_lte, n_workers=1,
+                          max_sessions_per_worker=1) as gateway:
+            gateway.open_session(seed=0)
+            with pytest.raises(Overloaded):
+                gateway.open_session(seed=1)
+
+
+class TestCrashIsolation:
+    def test_worker_crash_mid_flush(self, shard_lte, shard_subspaces,
+                                    make_oracle):
+        """A worker dying mid-flush raises a typed error promptly (no
+        hang); survivors keep serving and new sessions re-route."""
+        oracle = make_oracle(19)
+        with ShardGateway(shard_lte, n_workers=2) as gateway:
+            sids = [gateway.open_session(subspaces=shard_subspaces, seed=i)
+                    for i in range(4)]
+            doomed = gateway._workers[0]
+            victims = [s for s in sids if gateway._sessions[s] == 0]
+            survivors = [s for s in sids if gateway._sessions[s] == 1]
+            for sid in sids:
+                feed_session(gateway, oracle, sid)
+            gateway._call(doomed, "_debug", {"crash_on_flush": True})
+            with pytest.raises(WorkerCrashed):
+                gateway.flush_all()
+            assert not doomed.alive
+            # Sessions that lived on the dead worker fail typed…
+            with pytest.raises(WorkerCrashed):
+                gateway.poll(victims[0])
+            # …survivors are untouched…
+            gateway.flush_all()
+            for sid in survivors:
+                assert len(gateway.poll(sid)["ready"]) == 2
+            # …and new sessions re-route onto the live worker.
+            fresh = gateway.open_session(subspaces=shard_subspaces, seed=9)
+            assert gateway._sessions[fresh] == 1
+            feed_session(gateway, oracle, fresh)
+            gateway.flush_all()
+            assert len(gateway.poll(fresh)["ready"]) == 2
+
+    def test_all_workers_dead_rejects_new_sessions(self, shard_lte):
+        with ShardGateway(shard_lte, n_workers=1) as gateway:
+            gateway._call(gateway._workers[0], "_debug",
+                          {"crash_on_flush": True})
+            with pytest.raises(WorkerCrashed):
+                gateway.flush_all()
+            with pytest.raises(WorkerCrashed):
+                gateway.open_session(seed=0)
+
+
+class TestShutdown:
+    def test_close_drains_and_is_idempotent(self, shard_lte,
+                                            shard_subspaces, make_oracle):
+        oracle = make_oracle(23)
+        gateway = ShardGateway(shard_lte, n_workers=2)
+        sid = gateway.open_session(subspaces=shard_subspaces, seed=0)
+        feed_session(gateway, oracle, sid)
+        gateway.close()                          # graceful drain
+        gateway.close()                          # idempotent
+        assert all(not w.process.is_alive() for w in gateway._workers)
+        from repro.shard import ShardError
+        with pytest.raises(ShardError, match="closed"):
+            gateway.open_session(seed=1)
+
+    def test_context_manager_cleans_up_checkpoint_root(self, shard_lte):
+        import os
+        with ShardGateway(shard_lte, n_workers=1) as gateway:
+            root = gateway._root
+            assert os.path.isdir(root)
+        assert not os.path.exists(root)

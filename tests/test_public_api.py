@@ -6,7 +6,8 @@ import pytest
 
 PACKAGES = ["repro", "repro.nn", "repro.ml", "repro.geometry", "repro.data",
             "repro.core", "repro.baselines", "repro.explore", "repro.bench",
-            "repro.serve", "repro.persist", "repro.store", "repro.train"]
+            "repro.serve", "repro.persist", "repro.store", "repro.train",
+            "repro.shard"]
 
 
 @pytest.mark.parametrize("name", PACKAGES)
@@ -32,7 +33,8 @@ def test_persist_exports():
                 "save_pretrained", "load_pretrained",
                 "save_pretrain_run", "load_pretrain_run",
                 "save_session", "load_session",
-                "save_manager", "load_manager", "dataset_provenance"}
+                "save_manager", "load_manager", "dataset_provenance",
+                "model_fingerprint"}
     assert expected == set(persist.__all__)
     assert issubclass(persist.CheckpointError, RuntimeError)
     assert isinstance(persist.SCHEMA_VERSION, int)
