@@ -307,13 +307,56 @@ class LTE:
 
     def refresh_subspace(self, table, subspace, train=True):
         """Rebuild one subspace's summary/preprocessor/meta-learner after
-        a distribution change."""
+        a distribution change.
+
+        The subspace's entry in :attr:`states` is *replaced*, never
+        mutated: sessions opened before the refresh keep the state
+        object (scaler, encoder, adapted model) they adapted under and
+        serve unchanged predictions, while sessions opened afterwards
+        pick up the fresh artifacts — the zero-downtime half of drift
+        handling.
+        """
         index = list(self.states).index(subspace)
         state = self._prepare_subspace(table, subspace, index=index)
         self.states[subspace] = state
         if train:
             self.train_subspace(subspace)
         return state
+
+    def scaler_ranges(self):
+        """Fitted raw-space ``{subspace: (min_, max_)}`` per subspace."""
+        return {subspace: (state.scaler.min_.copy(),
+                           state.scaler.max_.copy())
+                for subspace, state in self.states.items()}
+
+    def freshness_monitor(self, threshold=0.2):
+        """A :class:`~repro.store.ingest.FreshnessMonitor` watching every
+        fitted subspace's scaler range against the store's zone maps.
+
+        ``monitor.observe(store)`` after appends; subspaces whose
+        incoming chunk ranges escape the fitted range past ``threshold``
+        (relative to the fitted span) show up in ``monitor.drifted()``
+        and should go through :meth:`refresh_subspace` (or
+        :meth:`refresh_drifted`, or a sharded gateway's
+        ``refresh_model``).
+        """
+        from ..store.ingest import FreshnessMonitor
+        monitor = FreshnessMonitor(threshold=threshold)
+        for subspace, state in self.states.items():
+            monitor.register(subspace, subspace.columns,
+                             state.scaler.min_, state.scaler.max_)
+        return monitor
+
+    def refresh_drifted(self, table, monitor, train=True):
+        """Refresh every subspace the monitor flags; re-register their
+        new scaler ranges so the monitor scores future appends against
+        the refreshed fit.  Returns the refreshed subspace list."""
+        drifted = monitor.drifted()
+        for subspace in drifted:
+            state = self.refresh_subspace(table, subspace, train=train)
+            monitor.register(subspace, subspace.columns,
+                             state.scaler.min_, state.scaler.max_)
+        return drifted
 
     # ------------------------------------------------------------------
     # Persistence
@@ -746,6 +789,11 @@ class ExplorationSession:
         self.lte = lte
         self.variant = variant
         self._subsessions = {}
+        # Freshness watermarks per store uid: the store version this
+        # session last answered at plus the answer itself, so the next
+        # predict_store only scans chunks newer than the watermark.
+        self._store_marks = {}
+        self.last_store_scan = None
         for i, subspace in enumerate(subspaces):
             self._subsessions[subspace] = _SubspaceSession(
                 lte.states[subspace], variant, lte.config, seed=seed + i)
@@ -795,6 +843,8 @@ class ExplorationSession:
         session.lte = lte
         session.variant = state["variant"]
         session._subsessions = {}
+        session._store_marks = {}
+        session.last_store_scan = None
         for names, sub_state in zip(state["subspaces"], state["sessions"]):
             key = tuple(sorted(names))
             if key not in by_key:
@@ -962,6 +1012,16 @@ class ExplorationSession:
         ``predict(store.data)`` while reading only the chunks a user's
         interest region can overlap.  Basic/Meta sessions (no geometric
         refinement) evaluate every chunk, still at chunk-bounded memory.
+
+        Serving is additionally **watermarked**: the session remembers
+        the ``store_version`` it last answered at (per store ``uid``)
+        together with that answer, and a later call over an appended
+        store re-evaluates only chunks at or past the previously closed
+        prefix — closed chunks are immutable, and the session's adapted
+        models are unchanged (checked via per-subspace model versions),
+        so the merged result is bit-identical to a full rescan.  Any
+        re-adaptation invalidates the watermark.  :attr:`last_store_scan`
+        reports the accounting of the most recent call.
         """
         from ..store.scan import session_chunk_keep
 
@@ -971,9 +1031,35 @@ class ExplorationSession:
                 raise RuntimeError(
                     "labels not yet submitted for subspace {}".format(
                         subsession.state.subspace))
+        uid = getattr(store, "uid", None)
+        models = tuple(ss.model_version
+                       for ss in self._subsessions.values())
+        mark = self._store_marks.get(uid) if uid is not None else None
+        valid = (
+            mark is not None and mark["models"] == models
+            and store.store_version >= mark["version"]
+            and store.n_chunks >= mark["closed"]
+            and (mark["closed"] == 0
+                 or store.zone_maps.digests[mark["closed"] - 1]
+                 == mark["tail_digest"]))
+        if valid and store.store_version == mark["version"] \
+                and store.n_rows == mark["n_rows"]:
+            self.last_store_scan = {
+                "chunks": int(store.n_chunks),
+                "chunks_watermarked": int(store.n_chunks),
+                "chunks_scanned": 0, "chunks_pruned": 0,
+            }
+            return mark["result"].astype(np.int64)
+        start_chunk, prefix_rows = (mark["closed"], mark["closed_rows"]) \
+            if valid else (0, 0)
         keep = session_chunk_keep(store, self._subsessions)
         result = np.zeros(store.n_rows, dtype=np.int64)
+        if prefix_rows:
+            result[:prefix_rows] = mark["result"][:prefix_rows]
+        scanned = 0
         for ci in np.flatnonzero(keep):
+            if ci < start_chunk:
+                continue
             block = store.chunk(ci)
             out = np.ones(len(block), dtype=np.int64)
             for subspace, subsession in self._subsessions.items():
@@ -982,4 +1068,23 @@ class ExplorationSession:
                 out &= subsession.predict(block[:, list(subspace.columns)])
             start = int(store.offsets[ci])
             result[start:start + len(block)] = out
+            scanned += 1
+        self.last_store_scan = {
+            "chunks": int(store.n_chunks),
+            "chunks_watermarked": int(start_chunk),
+            "chunks_scanned": scanned,
+            "chunks_pruned": int(store.n_chunks - start_chunk - scanned),
+        }
+        if uid is not None:
+            closed = store.closed_chunks
+            self._store_marks[uid] = {
+                "version": int(store.store_version),
+                "n_rows": int(store.n_rows),
+                "closed": int(closed),
+                "closed_rows": int(store.offsets[closed]),
+                "tail_digest": store.zone_maps.digests[closed - 1]
+                if closed else None,
+                "models": models,
+                "result": result.astype(np.int8),
+            }
         return result

@@ -125,13 +125,17 @@ def dataset_provenance(table):
     """What a checkpoint's manifest should say about its training data.
 
     Combines the builder provenance the dataset registry stamps on
-    tables/stores (builder name, n_rows, seed) with the store digest for
-    chunk-store tables; returns ``None`` when nothing is known.
+    tables/stores (builder name, n_rows, seed) with the store digest —
+    and, for appendable stores, the ``store_version`` the artifacts were
+    fitted at, so a checkpoint manifest records *which generation* of a
+    growing dataset it belongs to; returns ``None`` when nothing is
+    known.
     """
     out = dict(getattr(table, "provenance", None) or {})
     if hasattr(table, "iter_chunks"):
         out.setdefault("n_rows", int(table.n_rows))
         out["store_digest"] = str(table.digest)
+        out["store_version"] = int(getattr(table, "store_version", 1))
     return out or None
 
 

@@ -94,6 +94,13 @@ class SessionManager:
         # ever re-running Qhull.
         self._region_packs = HullPackCache(capacity=128)
         self._sessions = {}
+        # Freshness watermarks per (session_id, store uid): the store
+        # version each session last answered at plus that answer, so
+        # predict_many_store re-scans only chunks newer than the
+        # watermark (see predict_many_store).  Process-local cache, not
+        # part of snapshots: a restored manager simply rescans once.
+        self._store_marks = {}
+        self.last_store_scan = None
         self._queue = deque()
         # Flush errors attributed to the session that caused them:
         # {session_id: [{"subspace": [names], "error": "Type: msg"}]}.
@@ -126,6 +133,9 @@ class SessionManager:
             self._queue = deque(p for p in self._queue
                                 if p.session_id != session_id)
             self._session_errors.pop(session_id, None)
+            self._store_marks = {key: mark
+                                 for key, mark in self._store_marks.items()
+                                 if key[0] != session_id}
             self.cache.invalidate_session(session_id)
             # Un-pin the session's compiled geometry (hulls shared with
             # live sessions just recompile on the next refine).
@@ -365,41 +375,59 @@ class SessionManager:
         pass (falling back to the per-session path for singletons or
         structurally different models) and then geometrically refined
         per session.  Returns {session_id: (n,) 0/1 predictions}.
+
+        Sessions are first sub-grouped by their state's artifact
+        generation: after a subspace refresh (drift handling replaces
+        the :class:`~repro.core.framework.SubspaceState`), sessions
+        opened before it keep serving the scaler/encoder they adapted
+        under while newer sessions use the fresh one — scoring both
+        through a single generation's encode pass would silently feed
+        half of them the wrong coordinates.
         """
-        state = next(iter(per_session.values())).state
-        digest, scaled, encoded = self._subspace_artifacts(
-            subspace, state, points, digest=digest)
-        out, misses = {}, {}
+        if digest is None:
+            digest = rows_digest(points)
+        by_generation = {}
         for session_id, subsession in per_session.items():
-            key = self.cache.key(session_id, subspace,
-                                 subsession.model_version, digest)
-            cached = self.cache.get(key)
-            if cached is None:
-                group = misses.setdefault(
-                    tuple(sorted(subsession.adapted.model.config.items())),
-                    [])
-                group.append((session_id, subsession, key))
-            else:
-                out[session_id] = cached
-        for group in misses.values():
-            if len(group) == 1:
-                session_id, subsession, key = group[0]
-                stacked = subsession.adapted.predict(encoded)[None, :]
-            else:
-                stacked = predict_adapted_batch(
-                    [subsession.adapted for _, subsession, _ in group],
-                    encoded)
-            # Geometric refinement runs all (points x hulls x sessions)
-            # tests as one packed-engine call; the manager-level pack
-            # cache persists the compiled halfspace stack across model
-            # versions and repeated predict calls.
-            refined = FewShotOptimizer.refine_batch(
-                [subsession.optimizer for _, subsession, _ in group],
-                scaled, stacked, pack_cache=self._region_packs)
-            for (session_id, subsession, key), predictions in zip(group,
-                                                                  refined):
-                self.cache.put(key, predictions)
-                out[session_id] = predictions
+            token = subsession.state.artifact_token
+            by_generation.setdefault(token, {})[session_id] = subsession
+        out = {}
+        for generation in by_generation.values():
+            state = next(iter(generation.values())).state
+            _, scaled, encoded = self._subspace_artifacts(
+                subspace, state, points, digest=digest)
+            misses = {}
+            for session_id, subsession in generation.items():
+                key = self.cache.key(session_id, subspace,
+                                     subsession.model_version, digest)
+                cached = self.cache.get(key)
+                if cached is None:
+                    group = misses.setdefault(
+                        tuple(sorted(
+                            subsession.adapted.model.config.items())),
+                        [])
+                    group.append((session_id, subsession, key))
+                else:
+                    out[session_id] = cached
+            for group in misses.values():
+                if len(group) == 1:
+                    session_id, subsession, key = group[0]
+                    stacked = subsession.adapted.predict(encoded)[None, :]
+                else:
+                    stacked = predict_adapted_batch(
+                        [subsession.adapted for _, subsession, _ in group],
+                        encoded)
+                # Geometric refinement runs all (points x hulls x
+                # sessions) tests as one packed-engine call; the
+                # manager-level pack cache persists the compiled
+                # halfspace stack across model versions and repeated
+                # predict calls.
+                refined = FewShotOptimizer.refine_batch(
+                    [subsession.optimizer for _, subsession, _ in group],
+                    scaled, stacked, pack_cache=self._region_packs)
+                for (session_id, subsession, key), predictions in zip(
+                        group, refined):
+                    self.cache.put(key, predictions)
+                    out[session_id] = predictions
         return out
 
     def predict_subspace(self, session_id, subspace, points):
@@ -466,9 +494,19 @@ class SessionManager:
           over an unchanged model serves every chunk from cache without
           re-reading, re-encoding or re-hashing its bytes;
         * shared work — all sessions surviving a chunk score it in the
-          same stacked forward passes as :meth:`predict_many`.
+          same stacked forward passes as :meth:`predict_many`;
+        * **freshness watermarks** — each session remembers the
+          ``store_version`` it last answered at (per store ``uid``)
+          together with that answer; over an appended store, only chunks
+          at or past the previously closed prefix are re-evaluated and
+          merged with the remembered prefix, bit-identically to a full
+          rescan (closed chunks are immutable and the watermark is only
+          trusted while the session's model versions are unchanged).
 
-        Returns ``{session_id: (n_rows,) predictions}``.
+        Returns ``{session_id: (n_rows,) predictions}``.  The
+        accounting of the most recent call — chunks evaluated vs skipped
+        by watermark vs pruned by zone maps — lands in
+        :attr:`last_store_scan`.
         """
         from ..store.scan import session_chunk_keep
 
@@ -484,13 +522,43 @@ class SessionManager:
                             "labels not yet submitted for subspace {}"
                             .format(subspace))
                     groups.setdefault(subspace, {})[sid] = subsession
+            uid = getattr(store, "uid", None)
+            n_chunks = store.n_chunks
+            results = {sid: np.zeros(store.n_rows, dtype=np.int64)
+                       for sid in sessions}
+            model_versions, start_chunk = {}, {}
+            served_from_mark = 0
+            for sid, session in sessions.items():
+                models = tuple(ss.model_version
+                               for ss in session._subsessions.values())
+                model_versions[sid] = models
+                mark = self._store_marks.get((sid, uid)) \
+                    if uid is not None else None
+                valid = (
+                    mark is not None and mark["models"] == models
+                    and store.store_version >= mark["version"]
+                    and n_chunks >= mark["closed"]
+                    and (mark["closed"] == 0
+                         or store.zone_maps.digests[mark["closed"] - 1]
+                         == mark["tail_digest"]))
+                if valid and store.store_version == mark["version"] \
+                        and store.n_rows == mark["n_rows"]:
+                    results[sid] = mark["result"].astype(np.int64)
+                    start_chunk[sid] = n_chunks
+                    served_from_mark += 1
+                elif valid:
+                    start_chunk[sid] = mark["closed"]
+                    results[sid][:mark["closed_rows"]] = \
+                        mark["result"][:mark["closed_rows"]]
+                else:
+                    start_chunk[sid] = 0
             session_keep = {
                 sid: session_chunk_keep(store, session._subsessions)
                 for sid, session in sessions.items()}
-            results = {sid: np.zeros(store.n_rows, dtype=np.int64)
-                       for sid in sessions}
-            for ci in range(store.n_chunks):
-                live = [sid for sid in sessions if session_keep[sid][ci]]
+            evals = {sid: 0 for sid in sessions}
+            for ci in range(n_chunks):
+                live = [sid for sid in sessions
+                        if ci >= start_chunk[sid] and session_keep[sid][ci]]
                 if not live:
                     continue
                 block = store.chunk(ci)
@@ -511,6 +579,33 @@ class SessionManager:
                         out[sid] &= predictions
                 for sid, predictions in out.items():
                     results[sid][start:start + len(block)] = predictions
+                    evals[sid] += 1
+            self.last_store_scan = {
+                "sessions": len(sessions),
+                "chunks": int(n_chunks),
+                "chunk_evals": int(sum(evals.values())),
+                "chunk_evals_possible": int(len(sessions) * n_chunks),
+                "watermark_skipped": int(sum(start_chunk.values())),
+                "pruned_skipped": int(sum(
+                    n_chunks - start_chunk[sid] - evals[sid]
+                    for sid in sessions)),
+                "sessions_served_from_mark": int(served_from_mark),
+            }
+            if uid is not None:
+                closed = store.closed_chunks
+                closed_rows = int(store.offsets[closed])
+                tail_digest = store.zone_maps.digests[closed - 1] \
+                    if closed else None
+                for sid in sessions:
+                    self._store_marks[(sid, uid)] = {
+                        "version": int(store.store_version),
+                        "n_rows": int(store.n_rows),
+                        "closed": int(closed),
+                        "closed_rows": closed_rows,
+                        "tail_digest": tail_digest,
+                        "models": model_versions[sid],
+                        "result": results[sid].astype(np.int8),
+                    }
             return results
 
     def predict_store(self, session_id, store):

@@ -470,7 +470,7 @@ class ShardGateway:
     def _generation_dir(self, fingerprint):
         return os.path.join(self._root, "model-{}".format(fingerprint))
 
-    def publish_model(self, source):
+    def publish_model(self, source, refresh=None):
         """Roll a new model out to every worker, one worker at a time.
 
         ``source`` is either a fitted :class:`~repro.core.LTE` carrying
@@ -481,6 +481,15 @@ class ShardGateway:
         live sessions and their adapted models are untouched, so no
         session is dropped.  The gateway verifies every worker reports
         the new :func:`~repro.persist.model_fingerprint` and returns it.
+
+        ``refresh`` (optional) is a list of subspace-name lists whose
+        offline artifacts were rebuilt over fresh data: each worker
+        re-reads its store manifest (:meth:`ChunkStore.refresh
+        <repro.store.ChunkStore.refresh>`) and re-prepares those
+        subspaces from the grown store *before* installing the
+        checkpointed weights, so the identity check inside
+        ``load_pretrained`` passes against the same data generation the
+        publisher fitted.  :meth:`refresh_model` drives this end to end.
         """
         self._require_open()
         if isinstance(source, LTE):
@@ -489,9 +498,11 @@ class ShardGateway:
             save_pretrained(path, source)
         else:
             path = source
+        refresh = [list(names) for names in refresh] if refresh else []
         new_version = None
         for worker in self._alive():
-            reported = self._call(worker, "model_update", {"path": path})
+            reported = self._call(worker, "model_update",
+                                  {"path": path, "refresh": refresh})
             if new_version is None:
                 new_version = reported
             elif reported != new_version:
@@ -504,6 +515,52 @@ class ShardGateway:
                                 "broadcast to")
         self.model_version = new_version
         return new_version
+
+    def refresh_model(self, subspaces=None, train=True):
+        """Refresh drifted offline artifacts and roll them out live.
+
+        The streaming-ingest rollout path: after appends moved the data
+        distribution (see :class:`~repro.store.FreshnessMonitor`), the
+        gateway re-reads the master LTE's store view, rebuilds the
+        offline artifacts — scaler, cluster summary, encoder and (with
+        ``train=True``) a re-pretrained meta-learner — for the given
+        subspaces on the master replica, then broadcasts the result via
+        :meth:`publish_model`, which makes every worker catch up on the
+        grown store and re-prepare the same subspaces before installing
+        the new weights.  Live sessions keep serving throughout (their
+        adapted state objects are replaced, never mutated).
+
+        ``subspaces`` accepts :class:`~repro.core.subspace.Subspace`
+        objects or name sequences; ``None`` refreshes every fitted
+        subspace.  Returns the new model fingerprint.  Requires the
+        shared table to be a *disk-backed* chunk store — that directory
+        is the only channel through which appends reach the forked
+        workers.
+        """
+        self._require_open()
+        table = self.lte.table
+        if getattr(table, "directory", None) is None:
+            raise ShardError(
+                "refresh_model needs a disk-backed chunk store shared "
+                "with the workers; an in-memory table cannot propagate "
+                "appends across processes")
+        table.refresh()
+        by_key = {s.key: s for s in self.lte.states}
+        if subspaces is None:
+            targets = list(self.lte.states)
+        else:
+            targets = []
+            for item in subspaces:
+                key = item.key if hasattr(item, "key") \
+                    else tuple(sorted(item))
+                if key not in by_key:
+                    raise KeyError(
+                        "no fitted subspace {!r} to refresh".format(key))
+                targets.append(by_key[key])
+        for subspace in targets:
+            self.lte.refresh_subspace(table, subspace, train=train)
+        return self.publish_model(
+            self.lte, refresh=[list(s.names) for s in targets])
 
     # ------------------------------------------------------------------
     # Drain / shutdown / stats

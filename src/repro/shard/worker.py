@@ -111,6 +111,24 @@ def worker_main(conn, lte, checkpoint_dir, worker_index):
             # under it, exactly as an unsharded manager would have —
             # the broadcast drops no session and no queued work.
             manager.flush(raise_errors=False)
+            refresh = kwargs.get("refresh") or []
+            if refresh:
+                # Streaming-ingest rollout: catch the forked store view
+                # up with appends committed on disk, then re-prepare the
+                # refreshed subspaces from the grown data.  Preparation
+                # is deterministic in (table, config, subspace index),
+                # so the rebuilt scalers/encoders are bit-identical to
+                # the publisher's and load_pretrained's identity check
+                # passes; train=False because the checkpoint supplies
+                # the trained weights next.
+                table = lte.table
+                if hasattr(table, "refresh"):
+                    table.refresh()
+                by_key = {s.key: s for s in lte.states}
+                for names in refresh:
+                    lte.refresh_subspace(table,
+                                         by_key[tuple(sorted(names))],
+                                         train=False)
             load_pretrained(kwargs["path"], lte)
             return model_fingerprint(lte)
         if method == "stats":

@@ -14,10 +14,15 @@ the store interface, and the duck check keeps every layer importable
 without the store loaded.
 """
 
-from .chunks import DEFAULT_CHUNK_ROWS, ChunkStore, ZoneMaps
-from .scan import ChunkScan, optimizer_chunk_keep, region_bounds, scan_region
+from .chunks import (DEFAULT_CHUNK_ROWS, ChunkStore, StoreCorruptedError,
+                     StoreReadOnlyError, ZoneMaps)
+from .ingest import FreshnessMonitor
+from .scan import (ChunkScan, optimizer_chunk_keep, region_bounds,
+                   scan_region, session_chunk_keep)
 
 __all__ = [
     "ChunkStore", "ZoneMaps", "DEFAULT_CHUNK_ROWS",
+    "StoreCorruptedError", "StoreReadOnlyError", "FreshnessMonitor",
     "ChunkScan", "region_bounds", "scan_region", "optimizer_chunk_keep",
+    "session_chunk_keep",
 ]

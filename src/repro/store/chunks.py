@@ -17,12 +17,31 @@ Chunk membership is row-independent everywhere in the system (facet
 tests, encoders, classifiers), so chunk-at-a-time evaluation is
 bit-identical to one full-table pass by construction.
 
-On-disk layout (one directory per store)::
+Stores are **appendable** (:meth:`ChunkStore.append_blocks`): appends
+extend the mutable tail chunk and add new chunks, while every *closed*
+(full) chunk keeps its bytes and digest bit-stable — so per-chunk
+digest-keyed caches stay warm across appends.  Each content change bumps
+a monotonically increasing ``store_version``; sessions use it (plus the
+store's stable ``uid``) as a freshness watermark to scan only chunks
+newer than their last answer.
 
-    store.json      format version, name, attributes, shape, digest,
-                    dataset provenance
-    zonemaps.npz    mins / maxs / counts / has_nan / per-chunk digests
-    chunk-00000.npy one Fortran-ordered float64 array per chunk
+On-disk layout (one directory per store, format version 2)::
+
+    store.json            format + store version, uid, name, attributes,
+                          shape, digest, per-chunk filenames, provenance
+    zonemaps-vNNNNN.npz   mins / maxs / counts / has_nan / chunk digests
+                          (one file per store_version; old ones removed
+                          after the manifest commit)
+    chunk-NNNNN.npy       one Fortran-ordered float64 array per chunk;
+                          a rewritten tail gets a fresh generation name
+                          (chunk-NNNNN-vNNNNN.npy), never an in-place
+                          truncate-rewrite
+
+Appends are crash-safe: new chunk bytes and the new zone-map file are
+written under names no live manifest references, and the single
+``os.replace`` of ``store.json`` is the commit point — a crash at any
+earlier moment leaves the previous store fully intact.  Format-version-1
+directories (pre-append layout) still open, read-only.
 
 Chunks are written streaming (constant memory) and opened lazily via
 ``np.load(..., mmap_mode="r")``, so peak resident memory is bounded by
@@ -34,20 +53,38 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import uuid
 import warnings
 
 import numpy as np
 
 from ..data.schema import Attribute, Table
 
-__all__ = ["DEFAULT_CHUNK_ROWS", "ZoneMaps", "ChunkStore"]
+__all__ = ["DEFAULT_CHUNK_ROWS", "ZoneMaps", "ChunkStore",
+           "StoreCorruptedError", "StoreReadOnlyError"]
 
 #: Default rows per chunk: 64Ki rows x 8 float64 columns = 4 MiB.
 DEFAULT_CHUNK_ROWS = 65_536
 
 _MANIFEST = "store.json"
-_ZONEMAPS = "zonemaps.npz"
-_FORMAT_VERSION = 1
+_ZONEMAPS_V1 = "zonemaps.npz"
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+class StoreCorruptedError(ValueError):
+    """An on-disk store's files do not match its manifest.
+
+    Raised *at open time* for missing, truncated or mis-shaped chunk
+    files (fail fast, not deep inside a later serving call) and at chunk
+    load time when a file's content digest does not match the zone maps
+    (bit rot / tampering).  Subclasses :class:`ValueError` for
+    compatibility with callers that caught the untyped error.
+    """
+
+
+class StoreReadOnlyError(RuntimeError):
+    """Mutation attempted on a store opened read-only (e.g. format v1)."""
 
 
 def _chunk_digest(block):
@@ -119,6 +156,34 @@ class ZoneMaps:
             warnings.simplefilter("ignore", RuntimeWarning)
             return np.nanmin(mins, axis=0), np.nanmax(maxs, axis=0)
 
+    def extended(self, other):
+        """A new :class:`ZoneMaps` = these rows followed by ``other``'s."""
+        if other.n_chunks == 0:
+            return ZoneMaps(self.mins, self.maxs, self.counts,
+                            self.has_nan, list(self.digests))
+        if self.n_chunks == 0:
+            return ZoneMaps(other.mins, other.maxs, other.counts,
+                            other.has_nan, list(other.digests))
+        return ZoneMaps(
+            np.vstack([self.mins, other.mins]),
+            np.vstack([self.maxs, other.maxs]),
+            np.concatenate([self.counts, other.counts]),
+            np.vstack([self.has_nan, other.has_nan]),
+            list(self.digests) + list(other.digests))
+
+    def truncated(self, n_chunks):
+        """A new :class:`ZoneMaps` keeping only the first ``n_chunks``."""
+        n = int(n_chunks)
+        zones = ZoneMaps(self.mins[:n], self.maxs[:n], self.counts[:n],
+                         self.has_nan[:n], list(self.digests[:n]))
+        if n == 0:
+            # Preserve the column width through the empty slice.
+            d = self.mins.shape[1]
+            zones.mins = zones.mins.reshape(0, d)
+            zones.maxs = zones.maxs.reshape(0, d)
+            zones.has_nan = zones.has_nan.reshape(0, d)
+        return zones
+
     def state(self):
         """npz-serializable array dict (digests as fixed-width unicode)."""
         return {
@@ -163,12 +228,60 @@ def _chunk_filename(index):
     return "chunk-{:05d}.npy".format(index)
 
 
+def _tail_filename(index, store_version):
+    # A rewritten tail chunk gets a generation-stamped name so the commit
+    # never truncate-rewrites a file a live manifest (or mmap) references.
+    return "chunk-{:05d}-v{:05d}.npy".format(index, store_version)
+
+
+def _zone_filename(store_version):
+    return "zonemaps-v{:05d}.npz".format(store_version)
+
+
+def _atomic_save(path, array):
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        np.save(fh, array)
+    os.replace(tmp, path)
+
+
 def _freeze(block):
     # Always a private copy: freezing a caller-owned view in place would
     # alias the store to mutable external memory.
     block = np.array(block, dtype=np.float64, order="F", copy=True)
     block.flags.writeable = False
     return block
+
+
+def _iter_rechunk(blocks, width, chunk_rows):
+    """Re-chunk arbitrary row blocks to exactly ``chunk_rows`` rows.
+
+    Yields full chunks as they fill (the final yielded chunk may be
+    short); O(chunk_rows) buffered memory.  This is the single chunking
+    rule shared by :meth:`ChunkStore.from_blocks` and
+    :meth:`ChunkStore.append_blocks`, which is what makes an appended
+    store bit-identical to a one-shot build over the same rows.
+    """
+    buffered, buffered_rows = [], 0
+    for block in blocks:
+        block = np.asarray(block, dtype=np.float64)
+        if block.ndim != 2 or block.shape[1] != width:
+            raise ValueError(
+                "block shape {} does not match {} attributes".format(
+                    block.shape, width))
+        if not len(block):
+            continue
+        buffered.append(block)
+        buffered_rows += len(block)
+        while buffered_rows >= chunk_rows:
+            merged = buffered[0] if len(buffered) == 1 \
+                else np.vstack(buffered)
+            yield merged[:chunk_rows]
+            rest = merged[chunk_rows:]
+            buffered = [rest] if len(rest) else []
+            buffered_rows = len(rest)
+    if buffered_rows:
+        yield buffered[0] if len(buffered) == 1 else np.vstack(buffered)
 
 
 class ChunkStore:
@@ -179,11 +292,13 @@ class ChunkStore:
     ``n_rows`` / ``sample_rows``) while exposing the chunked substrate
     (``iter_chunks`` / ``take`` / ``scan``) the out-of-core paths ride.
     Build one with :meth:`from_table`, :meth:`from_blocks` (streaming,
-    constant memory) or :meth:`open` (memory-mapped from disk).
+    constant memory) or :meth:`open` (memory-mapped from disk); grow it
+    with :meth:`append_blocks`.
     """
 
     def __init__(self, name, attributes, chunks, zone_maps, directory=None,
-                 chunk_rows=DEFAULT_CHUNK_ROWS, provenance=None):
+                 chunk_rows=DEFAULT_CHUNK_ROWS, provenance=None,
+                 store_version=1, uid=None, read_only=False, files=None):
         self.name = str(name)
         self.attributes = [a if isinstance(a, Attribute) else Attribute(a)
                            for a in attributes]
@@ -199,14 +314,50 @@ class ChunkStore:
         self._chunks = list(chunks)
         if len(self._chunks) != zone_maps.n_chunks:
             raise ValueError("chunk list does not match zone maps")
-        self.offsets = np.concatenate(
-            [[0], np.cumsum(zone_maps.counts)]).astype(np.int64)
+        #: Monotonically increasing content version: bumped by every
+        #: append (and recorded in the manifest), never by reads.  The
+        #: serving layer uses it as a freshness watermark; the
+        #: materialization caches below invalidate against it.
+        self.store_version = int(store_version)
+        #: Stable store identity, preserved across appends and reopens
+        #: (unlike ``digest``, which changes with content).  Watermarks
+        #: key on ``(uid, store_version)``.
+        self.uid = str(uid) if uid else uuid.uuid4().hex
+        self.read_only = bool(read_only)
+        if files is not None:
+            self._files = [str(f) for f in files]
+        else:
+            self._files = [_chunk_filename(i)
+                           for i in range(len(self._chunks))]
+        if len(self._files) != len(self._chunks):
+            raise ValueError("chunk file list does not match zone maps")
+        self._zone_name = _zone_filename(self.store_version)
         self._digest = None
         self._data = None
+        self._offsets = None
+        self._cached_at = self.store_version
+
+    def _check_materialized(self):
+        # Stale-cache guard: every cached materialization (_data, _digest,
+        # offsets) is valid only for the store_version it was computed at.
+        if self._cached_at != self.store_version:
+            self._data = None
+            self._digest = None
+            self._offsets = None
+            self._cached_at = self.store_version
 
     # ------------------------------------------------------------------
     # Table-compatible metadata
     # ------------------------------------------------------------------
+    @property
+    def offsets(self):
+        """Global start row per chunk (``n_chunks + 1`` cumulative sums)."""
+        self._check_materialized()
+        if self._offsets is None:
+            self._offsets = np.concatenate(
+                [[0], np.cumsum(self.zone_maps.counts)]).astype(np.int64)
+        return self._offsets
+
     @property
     def n_rows(self):
         return int(self.offsets[-1])
@@ -218,6 +369,20 @@ class ChunkStore:
     @property
     def n_chunks(self):
         return self.zone_maps.n_chunks
+
+    @property
+    def closed_chunks(self):
+        """How many leading chunks are full and therefore immutable.
+
+        Only the final chunk can be short; it is the *open tail* that
+        future appends rewrite.  Everything before it keeps its bytes and
+        digest bit-stable forever — the prefix watermarked serving may
+        safely reuse.
+        """
+        n = self.n_chunks
+        if n and int(self.zone_maps.counts[-1]) < self.chunk_rows:
+            return n - 1
+        return n
 
     @property
     def attribute_names(self):
@@ -237,9 +402,11 @@ class ChunkStore:
         return self.n_rows
 
     def __repr__(self):
-        return "ChunkStore({!r}, rows={}, chunks={}, attrs={}, {})".format(
-            self.name, self.n_rows, self.n_chunks, self.attribute_names,
-            "disk:" + self.directory if self.directory else "memory")
+        return ("ChunkStore({!r}, rows={}, chunks={}, attrs={}, v{}, {})"
+                .format(self.name, self.n_rows, self.n_chunks,
+                        self.attribute_names, self.store_version,
+                        "disk:" + self.directory if self.directory
+                        else "memory"))
 
     # ------------------------------------------------------------------
     # Chunk access
@@ -250,15 +417,16 @@ class ChunkStore:
         In-memory chunks are Fortran-ordered frozen arrays; on-disk
         chunks are opened lazily as read-only memory maps, verified
         against the zone map's recorded content digest on first load
-        (so a swapped or bit-rotted chunk file raises instead of
-        silently serving wrong rows), and cached.
+        (so a swapped or bit-rotted chunk file raises
+        :class:`StoreCorruptedError` instead of silently serving wrong
+        rows), and cached.
         """
         block = self._chunks[index]
         if block is None:
-            path = os.path.join(self.directory, _chunk_filename(index))
+            path = os.path.join(self.directory, self._files[index])
             block = np.load(path, mmap_mode="r")
             if _chunk_digest(block) != self.zone_maps.digests[index]:
-                raise ValueError(
+                raise StoreCorruptedError(
                     "chunk file {!r} does not match the digest recorded "
                     "in the store's zone maps; the file was modified or "
                     "corrupted after the store was written".format(path))
@@ -319,22 +487,26 @@ class ChunkStore:
             return np.zeros(flags.shape[1], dtype=bool)
         return flags.any(axis=0)
 
-    def scan(self, region, columns=None):
+    def scan(self, region, columns=None, first_chunk=0):
         """A zone-map-pruned :class:`~repro.store.scan.ChunkScan` plan."""
         from .scan import ChunkScan
-        return ChunkScan(self, region, columns=columns)
+        return ChunkScan(self, region, columns=columns,
+                         first_chunk=first_chunk)
 
     # ------------------------------------------------------------------
     # Materialization (compatibility escape hatches)
     # ------------------------------------------------------------------
     @property
     def data(self):
-        """Materialized ``(n_rows, d)`` matrix, cached.
+        """Materialized ``(n_rows, d)`` matrix, cached per store version.
 
         Compatibility escape hatch for code written against ``Table``:
         costs O(table) memory, so out-of-core paths must use
-        :meth:`iter_chunks` / :meth:`take` instead.
+        :meth:`iter_chunks` / :meth:`take` instead.  The cache is keyed
+        to ``store_version``: an append invalidates it, so reads never
+        serve pre-append rows.
         """
+        self._check_materialized()
         if self._data is None:
             if self.n_chunks == 0:
                 self._data = np.zeros((0, self.n_attributes))
@@ -363,7 +535,9 @@ class ChunkStore:
         chunk may be short).  With ``directory`` every completed chunk is
         written to disk and dropped from memory immediately, so building
         a store of any size needs O(chunk_rows) memory; without it the
-        chunks stay in memory (Fortran-ordered, read-only).
+        chunks stay in memory (Fortran-ordered, read-only).  Stale chunk
+        and zone-map files from a previous store in the same directory
+        are removed after the manifest commit.
         """
         chunk_rows = int(chunk_rows)
         if chunk_rows < 1:
@@ -374,42 +548,23 @@ class ChunkStore:
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
         zones = _ZoneBuilder(width)
-        chunks, buffered = [], []
-        buffered_rows = 0
-
-        def emit(block):
+        chunks, files = [], []
+        for block in _iter_rechunk(blocks, width, chunk_rows):
             block = _freeze(block)
             zones.add(block)
+            files.append(_chunk_filename(len(chunks)))
             if directory is None:
                 chunks.append(block)
             else:
-                np.save(os.path.join(
-                    directory, _chunk_filename(len(chunks))), block)
+                _atomic_save(os.path.join(directory, files[-1]), block)
                 chunks.append(None)
-
-        for block in blocks:
-            block = np.asarray(block, dtype=np.float64)
-            if block.ndim != 2 or block.shape[1] != width:
-                raise ValueError(
-                    "block shape {} does not match {} attributes".format(
-                        block.shape, width))
-            buffered.append(block)
-            buffered_rows += len(block)
-            while buffered_rows >= chunk_rows:
-                merged = buffered[0] if len(buffered) == 1 \
-                    else np.vstack(buffered)
-                emit(merged[:chunk_rows])
-                rest = merged[chunk_rows:]
-                buffered = [rest] if len(rest) else []
-                buffered_rows = len(rest)
-        if buffered_rows:
-            emit(buffered[0] if len(buffered) == 1 else np.vstack(buffered))
 
         store = cls(name, attributes, chunks, zones.build(),
                     directory=directory, chunk_rows=chunk_rows,
-                    provenance=provenance)
+                    provenance=provenance, files=files)
         if directory is not None:
             store._write_manifest()
+            store._remove_stale_files()
         return store
 
     @classmethod
@@ -427,6 +582,136 @@ class ChunkStore:
             chunk_rows=chunk_rows, directory=directory,
             provenance=getattr(table, "provenance", None))
 
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def append_blocks(self, blocks):
+        """Append row blocks in place; returns the number of rows added.
+
+        The open tail chunk (if any) is merged with the new rows and
+        re-chunked by the same rule as :meth:`from_blocks`, so the
+        resulting store is bit-identical — rows, zone maps, chunk
+        digests, store digest — to a one-shot build over the concatenated
+        rows.  Closed chunks are never touched: their bytes, digests and
+        (for disk stores) files stay bit-stable, which keeps digest-keyed
+        prediction caches warm across appends.
+
+        Each append that adds rows bumps ``store_version``.  On disk the
+        commit is crash-safe: the rewritten tail gets a fresh
+        generation-stamped filename, the new zone maps a fresh versioned
+        filename, and the single rename of ``store.json`` is the commit
+        point — a crash anywhere earlier leaves the previous manifest
+        pointing at fully intact files.  Concurrent *readers* of the same
+        directory should call :meth:`refresh` to adopt the new version;
+        concurrent writers are not supported.
+        """
+        if self.read_only:
+            raise StoreReadOnlyError(
+                "store {!r} was opened read-only (format v1 layout); "
+                "rewrite it with save() to a new directory to get an "
+                "appendable v2 store".format(self.name))
+        width = self.n_attributes
+        zone = self.zone_maps
+        tail_index = None
+        tail_rows = None
+        if self.n_chunks and int(zone.counts[-1]) < self.chunk_rows:
+            tail_index = self.n_chunks - 1
+            tail_rows = np.array(self.chunk(tail_index))
+
+        def stream():
+            if tail_rows is not None:
+                yield tail_rows
+            for block in blocks:
+                yield block
+
+        base = self.n_chunks if tail_index is None else tail_index
+        zones_new = _ZoneBuilder(width)
+        staged = []
+        for block in _iter_rechunk(stream(), width, self.chunk_rows):
+            block = _freeze(block)
+            zones_new.add(block)
+            staged.append(block)
+        staged_rows = sum(len(b) for b in staged)
+        appended = staged_rows - (0 if tail_rows is None else len(tail_rows))
+        if appended <= 0:
+            # Nothing new: bits unchanged, so the version must not move
+            # (digest-equal iff version-equal for a fixed uid).
+            return 0
+
+        new_version = self.store_version + 1
+        files = list(self._files[:base])
+        disk = self.directory is not None
+        for k, block in enumerate(staged):
+            index = base + k
+            name = _tail_filename(index, new_version) \
+                if index == tail_index else _chunk_filename(index)
+            files.append(name)
+            if disk:
+                _atomic_save(os.path.join(self.directory, name), block)
+
+        rollback = (self.zone_maps, self._files, self._chunks,
+                    self.store_version, self._zone_name)
+        self.zone_maps = zone.truncated(base).extended(zones_new.build())
+        self._files = files
+        self._chunks = list(self._chunks[:base]) + \
+            ([None] * len(staged) if disk else staged)
+        self.store_version = new_version
+        try:
+            if disk:
+                self._write_manifest()
+        except BaseException:
+            (self.zone_maps, self._files, self._chunks,
+             self.store_version, self._zone_name) = rollback
+            self._data = None
+            self._digest = None
+            self._offsets = None
+            self._cached_at = self.store_version
+            raise
+        if disk:
+            self._remove_stale_files()
+        return appended
+
+    def refresh(self):
+        """Adopt appends another handle (or process) committed to disk.
+
+        Re-reads the manifest and zone maps in place, keeping cached
+        mmaps for chunks whose digest and filename are unchanged (the
+        closed prefix), so a long-lived reader — a shard worker, say —
+        catches up with an appended store without re-verifying untouched
+        chunks.  No-op for in-memory stores.  Returns ``self``.
+        """
+        if self.directory is None:
+            return self
+        fresh = ChunkStore.open(self.directory, validate=False)
+        if fresh.uid != self.uid:
+            # The directory was swapped wholesale (e.g. an in-place
+            # cluster_by): nothing cached carries over.
+            chunks = [None] * fresh.n_chunks
+        else:
+            chunks = []
+            for i, d in enumerate(fresh.zone_maps.digests):
+                same = (i < len(self._chunks)
+                        and self.zone_maps.digests[i] == d
+                        and self._files[i] == fresh._files[i])
+                chunks.append(self._chunks[i] if same else None)
+        self.name = fresh.name
+        self.attributes = fresh.attributes
+        self._index = fresh._index
+        self.zone_maps = fresh.zone_maps
+        self.chunk_rows = fresh.chunk_rows
+        self.provenance = fresh.provenance
+        self._chunks = chunks
+        self._files = fresh._files
+        self.store_version = fresh.store_version
+        self.uid = fresh.uid
+        self.read_only = fresh.read_only
+        self._zone_name = fresh._zone_name
+        self._data = None
+        self._digest = None
+        self._offsets = None
+        self._cached_at = self.store_version
+        return self
+
     def cluster_by(self, column, directory=None, bins=32):
         """Rewrite the store with rows bucketed by one column's value.
 
@@ -441,6 +726,15 @@ class ChunkStore:
         (non-finite values included; the row *order* changes, which is
         the point): the rewritten chunks carry tight zone ranges on the
         cluster column.
+
+        Clustering **into the store's own directory** is safe: the new
+        store is built in a temporary sibling directory and atomically
+        swapped in (truncate-rewriting the live ``chunk-NNNNN.npy`` files
+        under the source's cached mmaps would be a SIGBUS/garbage hazard,
+        and a shrinking chunk count would leave stale tail files).  After
+        the swap this source object detaches from the directory (all its
+        chunks are already resident from the partition pass) and becomes
+        read-only.
         """
         import shutil
         import tempfile
@@ -457,12 +751,22 @@ class ChunkStore:
             edges = np.linspace(lo, hi, n_bins + 1)
             edges[0], edges[-1] = -np.inf, np.inf
 
+        same_dir = (directory is not None and self.directory is not None
+                    and os.path.abspath(directory)
+                    == os.path.abspath(self.directory))
+        build_dir = directory
+        parent = None
+        if same_dir:
+            parent = os.path.dirname(os.path.abspath(directory)) or "."
+            build_dir = tempfile.mkdtemp(prefix=".cluster-build-",
+                                         dir=parent)
+
         spill_dir = None
-        if self.directory is not None or directory is not None:
-            if directory is not None:
-                os.makedirs(directory, exist_ok=True)
+        if self.directory is not None or build_dir is not None:
+            if build_dir is not None:
+                os.makedirs(build_dir, exist_ok=True)
             spill_dir = tempfile.mkdtemp(prefix=".cluster-spill-",
-                                         dir=directory)
+                                         dir=build_dir)
         buckets = [[] for _ in range(n_bins + 1)]   # pending row blocks
         pending = np.zeros(n_bins + 1, dtype=np.int64)
         spills = [[] for _ in range(n_bins + 1)]    # arrays or npy paths
@@ -509,13 +813,27 @@ class ChunkStore:
 
             provenance = dict(self.provenance or {})
             provenance["clustered_by"] = self.attributes[j].name
-            return ChunkStore.from_blocks(
+            result = ChunkStore.from_blocks(
                 self.name, self.attributes, blocks(),
-                chunk_rows=self.chunk_rows, directory=directory,
+                chunk_rows=self.chunk_rows, directory=build_dir,
                 provenance=provenance)
         finally:
             if spill_dir is not None:
                 shutil.rmtree(spill_dir, ignore_errors=True)
+
+        if same_dir:
+            target = os.path.abspath(directory)
+            trash = tempfile.mkdtemp(prefix=".cluster-old-", dir=parent)
+            os.rename(target, os.path.join(trash, "store"))
+            os.rename(build_dir, target)
+            shutil.rmtree(trash, ignore_errors=True)
+            # This source object no longer owns a directory: every chunk
+            # is resident (the partition pass loaded them all), so it
+            # keeps serving reads, but it can never write again.
+            self.directory = None
+            self.read_only = True
+            result = ChunkStore.open(target)
+        return result
 
     # ------------------------------------------------------------------
     # Persistence
@@ -528,7 +846,11 @@ class ChunkStore:
         single pass that built its zone map, so two stores digest equal
         iff they hold the same attributes and the same chunked bytes —
         the identity :mod:`repro.persist` fingerprints checkpoints with.
+        Identity metadata (``uid``, ``store_version``, filenames) is
+        deliberately excluded: an appended store digests equal to a
+        one-shot build over the same rows.
         """
+        self._check_materialized()
         if self._digest is None:
             h = hashlib.blake2b(digest_size=16)
             for a in self.attributes:
@@ -541,6 +863,7 @@ class ChunkStore:
         return self._digest
 
     def _write_manifest(self):
+        zone_name = _zone_filename(self.store_version)
         manifest = {
             "format_version": _FORMAT_VERSION,
             "name": self.name,
@@ -551,19 +874,56 @@ class ChunkStore:
             "chunk_rows": self.chunk_rows,
             "digest": self.digest,
             "provenance": self.provenance,
+            "store_version": self.store_version,
+            "uid": self.uid,
+            "zone_file": zone_name,
+            "chunk_files": list(self._files),
         }
-        # Write-then-rename so a crash mid-save never leaves a manifest
-        # pointing at half-written zone maps.
-        zones_tmp = os.path.join(self.directory, _ZONEMAPS + ".tmp.npz")
-        np.savez(zones_tmp, **self.zone_maps.state())
-        os.replace(zones_tmp, os.path.join(self.directory, _ZONEMAPS))
+        # The new zone maps go to a version-stamped file no existing
+        # manifest references; the manifest rename below is the single
+        # commit point that switches both atomically.
+        zones_tmp = os.path.join(self.directory, zone_name + ".tmp")
+        with open(zones_tmp, "wb") as fh:
+            np.savez(fh, **self.zone_maps.state())
+        os.replace(zones_tmp, os.path.join(self.directory, zone_name))
         manifest_tmp = os.path.join(self.directory, _MANIFEST + ".tmp")
         with open(manifest_tmp, "w") as fh:
             json.dump(manifest, fh, indent=1, sort_keys=True)
         os.replace(manifest_tmp, os.path.join(self.directory, _MANIFEST))
+        self._zone_name = zone_name
+
+    def _remove_stale_files(self):
+        """Best-effort cleanup of store files no longer referenced.
+
+        Run only *after* a manifest commit: removes superseded tail
+        chunks, old zone-map versions, leftover ``.tmp`` files and chunk
+        files from a previous (larger) store in the same directory.
+        """
+        keep = set(self._files)
+        keep.add(self._zone_name)
+        for entry in os.listdir(self.directory):
+            if entry in keep or entry == _MANIFEST:
+                continue
+            stale = ((entry.startswith("chunk-") and entry.endswith(".npy"))
+                     or (entry.startswith("zonemaps")
+                         and entry.endswith(".npz"))
+                     or entry.endswith(".tmp"))
+            if not stale:
+                continue
+            path = os.path.join(self.directory, entry)
+            if not os.path.isfile(path):
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def save(self, directory):
-        """Write this store to ``directory``; returns the on-disk store."""
+        """Write this store to ``directory``; returns the on-disk store.
+
+        Materializes a compacted copy (fresh uid, ``store_version`` 1) —
+        also the upgrade path for read-only format-v1 stores.
+        """
         if self.directory is not None \
                 and os.path.abspath(self.directory) \
                 == os.path.abspath(directory):
@@ -574,9 +934,69 @@ class ChunkStore:
             chunk_rows=self.chunk_rows, directory=directory,
             provenance=self.provenance)
 
+    def validate_files(self):
+        """Fail fast if any chunk file is missing, truncated or reshaped.
+
+        Reads only each file's npy header (O(n_chunks) small reads, no
+        data pass) and checks the promised shape/dtype against the zone
+        maps and the promised byte count against the file size.  Content
+        bit-flips that preserve the size are still caught later, by the
+        digest check on first :meth:`chunk` load.
+        """
+        if self.directory is None:
+            return
+        width = self.n_attributes
+        for i, name in enumerate(self._files):
+            path = os.path.join(self.directory, name)
+            rows = int(self.zone_maps.counts[i])
+            if not os.path.isfile(path):
+                raise StoreCorruptedError(
+                    "chunk file {!r} is missing; the store directory was "
+                    "modified after the manifest was written".format(path))
+            try:
+                with open(path, "rb") as fh:
+                    version = np.lib.format.read_magic(fh)
+                    if version == (1, 0):
+                        shape, _, dtype = \
+                            np.lib.format.read_array_header_1_0(fh)
+                    elif version == (2, 0):
+                        shape, _, dtype = \
+                            np.lib.format.read_array_header_2_0(fh)
+                    else:
+                        raise StoreCorruptedError(
+                            "chunk file {!r} uses unsupported npy format "
+                            "{!r}".format(path, version))
+                    data_start = fh.tell()
+            except StoreCorruptedError:
+                raise
+            except Exception as error:
+                raise StoreCorruptedError(
+                    "chunk file {!r} has an unreadable npy header "
+                    "({})".format(path, error)) from None
+            if shape != (rows, width) or dtype != np.dtype(np.float64):
+                raise StoreCorruptedError(
+                    "chunk file {!r} holds shape {} dtype {} but the zone "
+                    "maps record a ({}, {}) float64 chunk".format(
+                        path, shape, dtype, rows, width))
+            expected = data_start + int(np.prod(shape)) * dtype.itemsize
+            actual = os.path.getsize(path)
+            if actual != expected:
+                raise StoreCorruptedError(
+                    "chunk file {!r} is {} bytes but its header promises "
+                    "{}; the file is truncated or padded".format(
+                        path, actual, expected))
+
     @classmethod
-    def open(cls, directory):
-        """Open an on-disk store; chunks memory-map lazily on access."""
+    def open(cls, directory, validate=True):
+        """Open an on-disk store; chunks memory-map lazily on access.
+
+        Format-v2 stores open appendable; format-v1 directories (written
+        before appends existed) open **read-only**.  With ``validate``
+        (the default) every chunk file's presence, shape and byte size is
+        checked up front — a damaged directory raises
+        :class:`StoreCorruptedError` here instead of deep inside a later
+        serving call.
+        """
         manifest_path = os.path.join(directory, _MANIFEST)
         if not os.path.isfile(manifest_path):
             raise FileNotFoundError(
@@ -585,23 +1005,46 @@ class ChunkStore:
         with open(manifest_path) as fh:
             manifest = json.load(fh)
         version = manifest.get("format_version")
-        if version != _FORMAT_VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(
                 "store at {!r} uses format version {!r}; this build reads "
-                "version {}".format(directory, version, _FORMAT_VERSION))
-        with np.load(os.path.join(directory, _ZONEMAPS),
-                     allow_pickle=False) as npz:
+                "versions {}".format(directory, version,
+                                     list(_SUPPORTED_VERSIONS)))
+        zone_name = manifest.get("zone_file", _ZONEMAPS_V1)
+        zone_path = os.path.join(directory, zone_name)
+        if not os.path.isfile(zone_path):
+            raise StoreCorruptedError(
+                "store at {!r} is missing its zone-map file {!r}".format(
+                    directory, zone_name))
+        with np.load(zone_path, allow_pickle=False) as npz:
             zones = ZoneMaps.from_state({k: npz[k] for k in npz.files})
         attributes = [Attribute(e["name"], hint=e["hint"])
                       for e in manifest["attributes"]]
+        files = manifest.get("chunk_files")
+        if files is None:
+            files = [_chunk_filename(i) for i in range(zones.n_chunks)]
+        if len(files) != zones.n_chunks:
+            raise StoreCorruptedError(
+                "store at {!r} lists {} chunk files for {} chunks".format(
+                    directory, len(files), zones.n_chunks))
+        uid = manifest.get("uid")
+        if uid is None:
+            # v1 stores are immutable, so the content digest is a stable
+            # identity for them.
+            uid = "v1:" + str(manifest.get("digest", ""))
         store = cls(manifest["name"], attributes,
                     [None] * zones.n_chunks, zones, directory=directory,
                     chunk_rows=manifest["chunk_rows"],
-                    provenance=manifest.get("provenance"))
+                    provenance=manifest.get("provenance"),
+                    store_version=manifest.get("store_version", 1),
+                    uid=uid, read_only=(version == 1), files=files)
+        store._zone_name = zone_name
         if store.digest != manifest.get("digest"):
-            raise ValueError(
+            raise StoreCorruptedError(
                 "store at {!r} fails its digest check (manifest says {}, "
                 "zone maps hash to {}); the directory was modified or "
                 "partially written".format(directory, manifest.get("digest"),
                                            store.digest))
+        if validate:
+            store.validate_files()
         return store

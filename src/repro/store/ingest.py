@@ -1,0 +1,132 @@
+"""Streaming-ingest freshness: detect drift off the zone maps alone.
+
+The offline artifacts — min-max scalers, cluster centers, the
+meta-trained phi — are fitted against the data distribution at pretrain
+time.  Appends can move that distribution: once incoming rows fall
+outside a subspace scaler's fitted range, new points clip to the [0, 1]
+boundary, encoders see saturated coordinates, and accuracy decays
+silently.  :class:`FreshnessMonitor` watches for exactly that, and it
+does so **without touching row data**: appended chunks already carry
+zone-map min/max rows, so an ``observe(store)`` call costs O(new chunks)
+arithmetic, no I/O.
+
+The drift score per registered subspace is the *relative range
+escape*: how far the observed chunk ranges poke outside the fitted
+``[min_, max_]`` box, measured in units of the fitted span and maxed
+over the subspace's columns.  0 means fully inside; 1.0 means new data
+extends a full fitted-range-width beyond the boundary.  Scores
+accumulate monotonically across observes (drift does not un-happen
+until the artifacts are refit) and reset when the caller refreshes the
+subspace and re-registers its new scaler range.
+
+Typical lifecycle (see ``examples/streaming_ingest.py``)::
+
+    monitor = lte.freshness_monitor(threshold=0.2)
+    store.append_blocks(new_rows)
+    monitor.observe(store)
+    for subspace in monitor.drifted():
+        lte.refresh_subspace(store, subspace, train=True)
+        state = lte.states[subspace]
+        monitor.register(subspace, subspace.columns,
+                         state.scaler.min_, state.scaler.max_)
+    # sharded serving: gateway.refresh_model(monitor.drifted()) instead
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+__all__ = ["FreshnessMonitor"]
+
+
+class FreshnessMonitor:
+    """Compare appended chunks' zone stats against fitted scaler ranges.
+
+    ``register`` one entry per watched subspace (key is any hashable —
+    the framework uses the :class:`~repro.core.subspace.Subspace`
+    itself); ``observe`` after appends; ``drifted`` lists the keys whose
+    score crossed the threshold.  The monitor binds to the first store
+    it observes (by ``uid``) and tracks which chunks it has already
+    scored, so repeated observes are incremental: only chunks at or past
+    the previously *closed* prefix are (re-)scored — the open tail
+    re-scores each time because appends grow it in place.
+    """
+
+    def __init__(self, threshold=0.2):
+        self.threshold = float(threshold)
+        self._ranges = {}        # key -> (columns, lo, hi)
+        self._scores = {}        # key -> running max score
+        self._store_uid = None
+        self._observed_closed = 0
+
+    def register(self, key, columns, lo, hi):
+        """Watch ``key``: fitted range ``[lo, hi]`` over store ``columns``.
+
+        Re-registering a key (after a subspace refresh refit its scaler)
+        replaces the range and resets the key's score; already-observed
+        chunks are not re-scored against the new range — they are what
+        the refreshed artifacts were fitted on.
+        """
+        columns = [int(c) for c in columns]
+        lo = np.asarray(lo, dtype=np.float64).ravel()
+        hi = np.asarray(hi, dtype=np.float64).ravel()
+        if len(lo) != len(columns) or len(hi) != len(columns):
+            raise ValueError(
+                "range of width {}/{} registered for {} columns".format(
+                    len(lo), len(hi), len(columns)))
+        self._ranges[key] = (columns, lo, hi)
+        self._scores[key] = 0.0
+
+    def keys(self):
+        return list(self._ranges)
+
+    def observe(self, store):
+        """Score chunks appended since the last observe; returns scores.
+
+        Only zone-map rows are read.  Returns the per-key scores of the
+        *newly observed* chunks (not the running maxima; see
+        :meth:`report` for those), ``{}`` when nothing new arrived.
+        """
+        uid = getattr(store, "uid", None)
+        if self._store_uid is None:
+            self._store_uid = uid
+        elif uid != self._store_uid:
+            raise ValueError(
+                "monitor is bound to store uid {!r}; observed {!r} — one "
+                "FreshnessMonitor watches one store".format(
+                    self._store_uid, uid))
+        zone = store.zone_maps
+        start = min(self._observed_closed, zone.n_chunks)
+        self._observed_closed = store.closed_chunks
+        if start >= zone.n_chunks:
+            return {}
+        fresh = {}
+        for key, (columns, lo, hi) in self._ranges.items():
+            zmin = zone.mins[start:, columns]
+            zmax = zone.maxs[start:, columns]
+            with warnings.catch_warnings():
+                # All-NaN zone columns contribute no finite range.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                obs_lo = np.nanmin(zmin, axis=0)
+                obs_hi = np.nanmax(zmax, axis=0)
+            span = np.where(hi > lo, hi - lo, 1.0)
+            under = np.maximum(0.0, lo - obs_lo) / span
+            over = np.maximum(0.0, obs_hi - hi) / span
+            escape = np.where(np.isnan(under), 0.0, under) \
+                + np.where(np.isnan(over), 0.0, over)
+            score = float(escape.max()) if len(escape) else 0.0
+            fresh[key] = score
+            if score > self._scores.get(key, 0.0):
+                self._scores[key] = score
+        return fresh
+
+    def report(self):
+        """Running max drift score per registered key."""
+        return dict(self._scores)
+
+    def drifted(self):
+        """Keys whose running score exceeds the threshold."""
+        return [key for key, score in self._scores.items()
+                if score > self.threshold]

@@ -136,6 +136,11 @@ class ChunkScan:
         Store columns the region's input dimensions refer to (default:
         all, in order) — e.g. a subspace's column tuple for a
         per-subspace UIS region.
+    first_chunk:
+        Freshness watermark: chunks before this index are skipped
+        outright (the caller already holds their answer from a previous
+        scan of the same store version prefix).  Incremental serving
+        passes a session's closed-chunk watermark here.
 
     The plan is computed at construction: :meth:`chunk_mask` tells which
     chunks survive pruning, :meth:`row_mask` runs the exact membership
@@ -143,7 +148,7 @@ class ChunkScan:
     bit-for-bit because pruned chunks provably contain no member.
     """
 
-    def __init__(self, store, region, columns=None):
+    def __init__(self, store, region, columns=None, first_chunk=0):
         self.store = store
         self.region = region
         self.columns = None if columns is None \
@@ -160,6 +165,8 @@ class ChunkScan:
         self._base = base
         zone = store.zone_maps
         keep = np.ones(zone.n_chunks, dtype=bool)
+        self.first_chunk = max(0, min(int(first_chunk), zone.n_chunks))
+        keep[:self.first_chunk] = False
         groups = region_bounds(region)
         if groups is not None:
             for cols, lo, hi in groups:
@@ -191,7 +198,9 @@ class ChunkScan:
         return {
             "chunks": int(len(self._keep)),
             "chunks_scanned": scanned,
-            "chunks_pruned": int(len(self._keep) - scanned),
+            "chunks_watermarked": int(self.first_chunk),
+            "chunks_pruned": int(len(self._keep) - scanned
+                                 - self.first_chunk),
             "rows_total": int(counts.sum()),
             "rows_scanned": int(counts[self._keep].sum()),
             "prunable": bool(self._prunable),

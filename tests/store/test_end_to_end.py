@@ -92,6 +92,16 @@ def test_manager_store_parity_and_chunk_cache(store_lte, store_subspaces,
     hits_before = manager.stats["cache"]["hits"]
     second = manager.predict_store(sid, eval_store)
     assert np.array_equal(first, second)
+    # The repeat is served wholesale from the session's freshness
+    # watermark: same store version, same model versions — zero chunks
+    # touched.
+    assert manager.last_store_scan["chunk_evals"] == 0
+    assert manager.last_store_scan["sessions_served_from_mark"] == 1
+    # With the watermark dropped (e.g. a restored manager), the rescan
+    # falls back to the per-chunk digest-keyed prediction cache.
+    manager._store_marks.clear()
+    third = manager.predict_store(sid, eval_store)
+    assert np.array_equal(first, third)
     assert manager.stats["cache"]["hits"] > hits_before
     assert np.array_equal(first, manager.predict(sid, store_table.data))
     manager.close_session(sid)
