@@ -33,11 +33,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from .functional import (batched_binary_cross_entropy_with_logits,
-                         batched_pos_weight)
+from .compile import get_backend
+from .functional import batched_pos_weight
 from .layers import Module, batch_modules, unstack_modules
-from .optim import Adam, SGD
-from .tensor import Parameter, Tensor, no_grad
+from .tensor import Parameter, Tensor
 
 __all__ = ["BatchedUISClassifier", "fused_local_adapt", "stack_conversions",
            "load_flat_stack", "theta_r_grad_stack", "grad_stacks",
@@ -195,6 +194,13 @@ def fused_local_adapt(models, features, xs, ys, *, conversions=None,
     :class:`Parameter` (or ``None``).  The gradients of the *last* step
     are left on the parameters so callers can slice them
     (:func:`theta_r_grad_stack`) before reusing the stacks.
+
+    Execution runs on the active :mod:`repro.nn.compile` backend.
+    Parity guarantee: every backend evaluates the identical float64 op
+    sequence in the identical order, so the adapted parameters,
+    last-step gradients, and downstream predictions are bit-identical
+    regardless of backend (the ``-m compile`` suite asserts this
+    against the eager reference).
     """
     if batched is None:
         batched = BatchedUISClassifier(models)
@@ -208,23 +214,9 @@ def fused_local_adapt(models, features, xs, ys, *, conversions=None,
     ys = np.asarray(ys, dtype=np.float64)
     pos_weight = batched_pos_weight(ys) if balance_classes else None
 
-    trainable = list(batched.parameters())
-    if conversion is not None:
-        trainable.append(conversion)
-    if optimizer_kind == "adam":
-        optimizer = Adam(trainable, lr=lr)
-    else:
-        optimizer = SGD(trainable, lr=lr)
-
-    for _ in range(steps):
-        optimizer.zero_grad()
-        logits = batched.forward(features, xs, conversion=conversion)
-        # Sum of per-task mean losses: block-diagonal, so each task's
-        # parameters see exactly their own sequential gradient.
-        loss = batched_binary_cross_entropy_with_logits(
-            logits, ys, pos_weight=pos_weight).sum()
-        loss.backward()
-        optimizer.step()
+    get_backend().local_adapt(batched, conversion, features, xs, ys,
+                              pos_weight, steps=steps, lr=lr,
+                              optimizer_kind=optimizer_kind)
     return batched, conversion
 
 
@@ -257,9 +249,11 @@ def grad_stacks(batched):
 
 
 def stacked_predict(batched, features, xs, conversion=None, threshold=0.5):
-    """Fused no-grad 0/1 predictions, shape (K, n)."""
-    if conversion is not None and isinstance(conversion, Parameter):
-        conversion = conversion.data
-    with no_grad():
-        logits = batched.forward(features, xs, conversion=conversion)
-    return (logits.sigmoid().numpy() >= threshold).astype(np.int64)
+    """Fused no-grad 0/1 predictions, shape (K, n).
+
+    The sigmoid probabilities come from the active
+    :mod:`repro.nn.compile` backend (bit-identical across backends).
+    """
+    proba = get_backend().predict_proba(batched, features, xs,
+                                        conversion=conversion)
+    return (proba >= threshold).astype(np.int64)

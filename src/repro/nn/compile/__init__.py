@@ -1,0 +1,106 @@
+"""Pluggable compiled execution backends for the stacked hot paths.
+
+``repro.nn.compile`` lets the three stacked-program consumers
+(``fused_local_adapt``, the meta/pretraining loss step, and
+``stacked_predict``) run on one of two interchangeable executors:
+
+* ``reference`` — the eager autograd engine (the bit-exact oracle);
+* ``fused`` — trace-and-replay: each program is traced once per
+  (shape-bucket, hyper-parameter) key, compiled to a flat instruction
+  list over a preallocated buffer arena, and replayed with in-place
+  ufuncs — zero graph construction and near-zero temporary allocation
+  in steady state, bit-identical results.
+
+Backend selection: the ``REPRO_NN_BACKEND`` environment variable
+(``reference`` | ``fused``, read once at first use), or
+:func:`set_backend` / :func:`backend_scope` at runtime.  The default is
+``reference``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+
+from .arena import Arena, MomentPool, moment_pool
+from .backends import Backend, FusedBackend, ReferenceBackend
+from .cache import PlanCache
+from .plan import Plan, compile_plan
+from .trace import Node, TraceError, Tracer, tracing
+
+__all__ = [
+    "get_backend", "set_backend", "backend_scope", "available_backends",
+    "Backend", "ReferenceBackend", "FusedBackend",
+    "Arena", "MomentPool", "moment_pool", "PlanCache",
+    "Plan", "compile_plan", "Node", "TraceError", "Tracer", "tracing",
+]
+
+_FACTORIES = {
+    "reference": ReferenceBackend,
+    "fused": FusedBackend,
+}
+_LOCK = threading.Lock()
+_CURRENT = [None]
+
+
+def available_backends():
+    """Names accepted by :func:`set_backend` / ``REPRO_NN_BACKEND``."""
+    return tuple(sorted(_FACTORIES))
+
+
+def _resolve(backend):
+    if isinstance(backend, Backend):
+        return backend
+    try:
+        factory = _FACTORIES[backend]
+    except KeyError:
+        raise ValueError(
+            "unknown nn backend {!r}; expected one of {}".format(
+                backend, ", ".join(available_backends()))) from None
+    return factory()
+
+
+def get_backend():
+    """The active execution backend (thread-safe, lazily initialized).
+
+    The first call resolves ``REPRO_NN_BACKEND`` (default
+    ``reference``); later calls return the same instance until
+    :func:`set_backend` replaces it, so plan caches and counters are
+    shared by all threads.
+    """
+    backend = _CURRENT[0]
+    if backend is not None:
+        return backend
+    with _LOCK:
+        if _CURRENT[0] is None:
+            _CURRENT[0] = _resolve(
+                os.environ.get("REPRO_NN_BACKEND", "reference"))
+        return _CURRENT[0]
+
+
+def set_backend(backend):
+    """Install a backend by name (``reference`` | ``fused``) or instance.
+
+    Returns the installed instance.
+    """
+    resolved = _resolve(backend)
+    with _LOCK:
+        _CURRENT[0] = resolved
+    return resolved
+
+
+@contextlib.contextmanager
+def backend_scope(backend):
+    """Temporarily install ``backend``, restoring the previous one.
+
+    Swaps the process-global backend — intended for tests and
+    benchmarks, not for scoping concurrent workloads to different
+    backends.
+    """
+    previous = get_backend()
+    installed = set_backend(backend)
+    try:
+        yield installed
+    finally:
+        set_backend(previous)

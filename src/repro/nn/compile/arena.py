@@ -1,0 +1,138 @@
+"""Preallocated workspaces for compiled replay and pooled optimizers.
+
+Two allocators live here:
+
+* :class:`Arena` — the per-plan buffer registry.  Every float64
+  workspace a compiled plan replays into (node outputs, gradient
+  accumulators, optimizer temporaries) is allocated through one arena at
+  compile time, so steady-state replay performs no array allocation at
+  all; the arena also reports its footprint for diagnostics.
+* :class:`MomentPool` — a bounded LRU pool of optimizer state buffers
+  keyed by the parameter-stack shape signature.  ``fused_local_adapt``
+  creates a fresh Adam/SGD per invocation; within one serving shape
+  bucket those invocations recur thousands of times, so the moment /
+  velocity buffers are leased from the pool (and zeroed on adoption by
+  the optimizer) instead of reallocated per call.  Leases hold a
+  per-entry lock, so two threads adapting the same bucket concurrently
+  serialize instead of corrupting each other's optimizer state.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["Arena", "MomentPool", "moment_pool"]
+
+
+class Arena:
+    """Registry of plan-owned numpy workspaces (allocate once, replay many)."""
+
+    def __init__(self):
+        self._arrays = []
+
+    def empty(self, shape, dtype=np.float64):
+        """A new uninitialized workspace owned by this arena."""
+        buf = np.empty(shape, dtype=dtype)
+        self._arrays.append(buf)
+        return buf
+
+    def zeros(self, shape, dtype=np.float64):
+        buf = np.zeros(shape, dtype=dtype)
+        self._arrays.append(buf)
+        return buf
+
+    def ones(self, shape, dtype=np.float64):
+        buf = np.ones(shape, dtype=dtype)
+        self._arrays.append(buf)
+        return buf
+
+    def flat_views(self, shapes, zero=False):
+        """One flat float64 buffer carved into contiguous per-shape views.
+
+        Used for parameter / gradient / moment stacks: elementwise
+        optimizer updates then run as a handful of ufunc calls over the
+        flat buffer instead of a Python loop over parameters, while the
+        views serve as the per-parameter operands of the traced program.
+        """
+        sizes = [int(np.prod(shape, dtype=np.int64)) for shape in shapes]
+        flat = self.zeros((int(sum(sizes)),)) if zero \
+            else self.empty((int(sum(sizes)),))
+        views, offset = [], 0
+        for shape, size in zip(shapes, sizes):
+            views.append(flat[offset:offset + size].reshape(shape))
+            offset += size
+        return flat, views
+
+    @property
+    def nbytes(self):
+        return int(sum(buf.nbytes for buf in self._arrays))
+
+    @property
+    def n_buffers(self):
+        return len(self._arrays)
+
+
+class MomentPool:
+    """Bounded LRU pool of optimizer state buffers per shape signature."""
+
+    def __init__(self, capacity=32):
+        if capacity < 1:
+            raise ValueError("pool capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @contextlib.contextmanager
+    def lease(self, shapes, n_sets):
+        """Lease ``n_sets`` lists of buffers matching ``shapes``.
+
+        The buffers come back with arbitrary contents — the adopting
+        optimizer zeroes them — and stay locked for the duration of the
+        ``with`` block.  An entry evicted while leased simply lives on
+        in its holder and is rebuilt on the next lease of that key.
+        """
+        key = (tuple(tuple(int(s) for s in shape) for shape in shapes),
+               int(n_sets))
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                self.misses += 1
+                entry = {
+                    "lock": threading.Lock(),
+                    "sets": [[np.empty(shape) for shape in shapes]
+                             for _ in range(n_sets)],
+                }
+            else:
+                self.hits += 1
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        with entry["lock"]:
+            yield entry["sets"]
+
+    def stats(self):
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "capacity": self.capacity,
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+
+_MOMENT_POOL = MomentPool()
+
+
+def moment_pool():
+    """The process-wide optimizer buffer pool both backends lease from."""
+    return _MOMENT_POOL

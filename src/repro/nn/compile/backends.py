@@ -1,0 +1,308 @@
+"""Execution backends for the stacked autograd hot paths.
+
+Both backends implement the same three-method contract behind
+``fused_local_adapt`` / ``run_meta_batch_fused`` / ``stacked_predict``:
+
+``local_adapt``
+    The fused few-shot optimization loop: ``steps`` iterations of
+    per-task-reduced BCE descent over the stacked parameters, leaving
+    the last step's gradients on the parameters.
+``loss_backward``
+    One forward + backward of the summed per-task BCE loss (the
+    meta-training global phase and the pooled pretraining step);
+    returns the per-task loss vector, leaves gradients on parameters.
+``predict_proba``
+    Fused no-grad sigmoid probabilities.
+
+:class:`ReferenceBackend` runs the eager autograd engine — it is the
+bit-exact oracle.  :class:`FusedBackend` traces the identical program
+once per shape-bucket key, compiles it (:mod:`.plan`), and replays the
+compiled instruction list; because the replay evaluates the same
+float64 ops in the same order over preallocated buffers, its results
+are bit-identical, which the ``-m compile`` parity suite asserts.
+Programs the compiler cannot prove bit-equal fall back to the
+reference path transparently (the key is cached as unsupported).
+
+Gradient-aliasing contract of the fused path: ``param.grad`` arrays
+handed back by ``local_adapt`` / ``loss_backward`` are views into the
+plan's workspace and stay valid until the next replay of the same
+(shape-bucket, hyper-parameter) plan.  Every current consumer reads
+them synchronously before the next call, matching the reference
+engine's lifetime in practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..functional import batched_binary_cross_entropy_with_logits
+from ..optim import SGD, Adam
+from ..tensor import Parameter, Tensor, no_grad
+from .arena import moment_pool
+from .cache import PlanCache
+from .plan import compile_plan
+from .trace import Tracer, tracing
+
+__all__ = ["Backend", "ReferenceBackend", "FusedBackend"]
+
+
+def _as_input(array):
+    return np.asarray(array, dtype=np.float64)
+
+
+def _loss_weights(ys, pos_weight):
+    """The per-example loss weights the functional's pos_weight branch
+    computes internally — replicated here (identical expression) so the
+    fused plan can treat them as a per-replay input instead of baking
+    trace-time values."""
+    if pos_weight is None:
+        return None
+    pos_weight = np.asarray(pos_weight, dtype=np.float64)
+    return np.where(ys == 1.0, np.broadcast_to(pos_weight, ys.shape), 1.0)
+
+
+class Backend:
+    """Abstract executor of the three stacked-program hot paths."""
+
+    name = None
+
+    def local_adapt(self, batched, conversion, features, xs, ys, pos_weight,
+                    *, steps, lr, optimizer_kind):
+        raise NotImplementedError
+
+    def loss_backward(self, batched, conversion, features, xs, ys,
+                      pos_weight):
+        raise NotImplementedError
+
+    def predict_proba(self, batched, features, xs, conversion=None):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "{}(name={!r})".format(type(self).__name__, self.name)
+
+
+class ReferenceBackend(Backend):
+    """The eager autograd engine — the bit-exact oracle.
+
+    Optimizer moment/velocity buffers are leased from the process-wide
+    :func:`moment_pool` instead of reallocated per call, so repeated
+    adaptation within one shape bucket is allocation-stable here too.
+    """
+
+    name = "reference"
+
+    def local_adapt(self, batched, conversion, features, xs, ys, pos_weight,
+                    *, steps, lr, optimizer_kind):
+        trainable = list(batched.parameters())
+        if conversion is not None:
+            trainable.append(conversion)
+        shapes = [p.data.shape for p in trainable]
+        n_sets = 2 if optimizer_kind == "adam" else 1
+        with moment_pool().lease(shapes, n_sets) as sets:
+            if optimizer_kind == "adam":
+                optimizer = Adam(trainable, lr=lr,
+                                 moments=(sets[0], sets[1]))
+            else:
+                optimizer = SGD(trainable, lr=lr, velocity=sets[0])
+            for _ in range(steps):
+                optimizer.zero_grad()
+                logits = batched.forward(features, xs,
+                                         conversion=conversion)
+                # Sum of per-task mean losses: block-diagonal, so each
+                # task's parameters see exactly their own sequential
+                # gradient.
+                loss = batched_binary_cross_entropy_with_logits(
+                    logits, ys, pos_weight=pos_weight).sum()
+                loss.backward()
+                optimizer.step()
+
+    def loss_backward(self, batched, conversion, features, xs, ys,
+                      pos_weight):
+        batched.zero_grad()
+        if isinstance(conversion, Parameter):
+            conversion.zero_grad()
+        logits = batched.forward(features, xs, conversion=conversion)
+        task_losses = batched_binary_cross_entropy_with_logits(
+            logits, ys, pos_weight=pos_weight)
+        task_losses.sum().backward()
+        return np.asarray(task_losses.data)
+
+    def predict_proba(self, batched, features, xs, conversion=None):
+        if isinstance(conversion, Parameter):
+            conversion = conversion.data
+        with no_grad():
+            logits = batched.forward(features, xs, conversion=conversion)
+        return logits.sigmoid().numpy()
+
+
+class FusedBackend(Backend):
+    """Trace-once / replay-many executor over preallocated arenas.
+
+    Plans are cached per (program kind, parameter signature, batch
+    shapes, hyper-parameter) key with bounded LRU eviction; learning
+    rate and step count are replay-time arguments, so one plan serves
+    every ``lr`` / ``steps`` combination of its shape bucket.
+    """
+
+    name = "fused"
+
+    def __init__(self, capacity=64):
+        self.plans = PlanCache(capacity)
+        self.reference = ReferenceBackend()
+        self.replays = 0
+        self.fallbacks = 0
+
+    # -- the three hot paths -------------------------------------------
+    def local_adapt(self, batched, conversion, features, xs, ys, pos_weight,
+                    *, steps, lr, optimizer_kind):
+        features, xs, ys = (_as_input(features), _as_input(xs),
+                            _as_input(ys))
+        params = list(batched.named_parameters())
+        if conversion is not None:
+            params.append(("__conversion__", conversion))
+        key = ("adapt", self._param_sig(params), features.shape, xs.shape,
+               ys.shape, pos_weight is not None, str(optimizer_kind))
+        plan = self.plans.get_or_build(key, lambda: self._build_loss_plan(
+            batched, conversion, None, features, xs, ys, pos_weight,
+            optimizer="adam" if optimizer_kind == "adam" else "sgd"))
+        if plan is PlanCache.UNSUPPORTED:
+            self.fallbacks += 1
+            self.reference.local_adapt(
+                batched, conversion, features, xs, ys, pos_weight,
+                steps=steps, lr=lr, optimizer_kind=optimizer_kind)
+            return
+        weights = _loss_weights(ys, pos_weight)
+        inputs = [features, xs, ys]
+        if weights is not None:
+            inputs.append(weights)
+        with plan.lock:
+            plan.bind([param.data for _name, param in params], inputs)
+            plan.run_adapt(int(steps), float(lr))
+            self._write_back(plan, params, write_params=True)
+        self.replays += 1
+
+    def loss_backward(self, batched, conversion, features, xs, ys,
+                      pos_weight):
+        features, xs, ys = (_as_input(features), _as_input(xs),
+                            _as_input(ys))
+        params = list(batched.named_parameters())
+        conv_param = conv_input = None
+        if isinstance(conversion, Parameter):
+            conv_param = conversion
+            params.append(("__conversion__", conversion))
+        elif conversion is not None:
+            conv_input = _as_input(conversion)
+        key = ("grad", self._param_sig(params),
+               None if conv_input is None else conv_input.shape,
+               features.shape, xs.shape, ys.shape, pos_weight is not None)
+        plan = self.plans.get_or_build(key, lambda: self._build_loss_plan(
+            batched, conv_param, conv_input, features, xs, ys, pos_weight))
+        if plan is PlanCache.UNSUPPORTED:
+            self.fallbacks += 1
+            return self.reference.loss_backward(
+                batched, conversion, features, xs, ys, pos_weight)
+        weights = _loss_weights(ys, pos_weight)
+        inputs = [features, xs, ys]
+        if conv_input is not None:
+            inputs.append(conv_input)
+        if weights is not None:
+            inputs.append(weights)
+        with plan.lock:
+            plan.bind([param.data for _name, param in params], inputs)
+            plan.run_once()
+            self._write_back(plan, params, write_params=False)
+            losses = plan.outputs["task_losses"].copy()
+        self.replays += 1
+        return losses
+
+    def predict_proba(self, batched, features, xs, conversion=None):
+        if isinstance(conversion, Parameter):
+            conversion = conversion.data
+        features, xs = _as_input(features), _as_input(xs)
+        conv_input = None if conversion is None else _as_input(conversion)
+        params = list(batched.named_parameters())
+        key = ("predict", self._param_sig(params),
+               None if conv_input is None else conv_input.shape,
+               features.shape, xs.shape)
+        plan = self.plans.get_or_build(key, lambda: self._build_predict_plan(
+            batched, conv_input, features, xs))
+        if plan is PlanCache.UNSUPPORTED:
+            self.fallbacks += 1
+            return self.reference.predict_proba(batched, features, xs,
+                                                conversion=conv_input)
+        inputs = [features, xs]
+        if conv_input is not None:
+            inputs.append(conv_input)
+        with plan.lock:
+            plan.bind([param.data for _name, param in params], inputs)
+            plan.run_once()
+            proba = plan.outputs["proba"].copy()
+        self.replays += 1
+        return proba
+
+    # -- plan construction ---------------------------------------------
+    @staticmethod
+    def _param_sig(params):
+        return tuple((name, param.data.shape) for name, param in params)
+
+    def _build_loss_plan(self, batched, conv_param, conv_input, features,
+                         xs, ys, pos_weight, optimizer=None):
+        tracer = Tracer()
+        for name, param in batched.named_parameters():
+            tracer.register_param(name, param)
+        if conv_param is not None:
+            tracer.register_param("__conversion__", conv_param)
+        tracer.register_input("features", Tensor(features))
+        tracer.register_input("xs", Tensor(xs))
+        tracer.register_input("ys", Tensor(ys))
+        conversion = conv_param
+        if conv_input is not None:
+            tracer.register_input("conversion", Tensor(conv_input))
+            conversion = conv_input
+        weights = _loss_weights(ys, pos_weight)
+        if weights is not None:
+            tracer.register_input("weights", Tensor(weights))
+        with tracing(tracer):
+            logits = batched.forward(features, xs, conversion=conversion)
+            losses = batched_binary_cross_entropy_with_logits(
+                logits, ys, pos_weight=None, reduction="none")
+            if weights is not None:
+                # The same multiply the functional's pos_weight branch
+                # performs, with the weights array as a replay input.
+                losses = losses * Tensor(weights)
+            task_losses = losses.mean(axis=-1)
+            loss = task_losses.sum()
+        return compile_plan(
+            tracer, root=tracer.node_for(loss),
+            outputs={"task_losses": tracer.node_for(task_losses)},
+            optimizer=optimizer)
+
+    def _build_predict_plan(self, batched, conv_input, features, xs):
+        tracer = Tracer()
+        for name, param in batched.named_parameters():
+            tracer.register_param(name, param)
+        tracer.register_input("features", Tensor(features))
+        tracer.register_input("xs", Tensor(xs))
+        if conv_input is not None:
+            tracer.register_input("conversion", Tensor(conv_input))
+        with no_grad():
+            with tracing(tracer):
+                logits = batched.forward(features, xs,
+                                         conversion=conv_input)
+                proba = logits.sigmoid()
+        return compile_plan(tracer,
+                            outputs={"proba": tracer.node_for(proba)})
+
+    @staticmethod
+    def _write_back(plan, params, write_params):
+        # Parameters are rebound to copies (mirroring the reference
+        # optimizer's ``param.data = param.data - update`` rebinding);
+        # gradients alias plan workspace — see the module docstring for
+        # the lifetime contract.  Parameters that received no gradient
+        # get ``grad = None`` exactly like the eager engine, which the
+        # persistent pretraining Adam relies on to skip their moments.
+        if write_params:
+            for (_name, param), view in zip(params, plan.param_views):
+                param.data = view.copy()
+        for (name, param), gview in zip(params, plan.grad_views):
+            param.grad = gview if name in plan.received_params else None

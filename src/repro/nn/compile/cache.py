@@ -1,0 +1,89 @@
+"""Bounded LRU cache of compiled plans, keyed by shape bucket.
+
+Serving buckets and training schedules recur over a small set of
+(parameter-stack, batch-shape, hyper-parameter) signatures, so plans are
+compiled once per signature and replayed from here.  Keys that fail to
+compile (``TraceError``) are cached as :data:`PlanCache.UNSUPPORTED` so
+the fused backend falls back to the reference executor without
+re-attempting the trace on every call.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from .trace import TraceError
+
+__all__ = ["PlanCache"]
+
+_MISSING = object()
+
+
+class PlanCache:
+    """Thread-safe LRU mapping of shape-bucket keys to compiled plans."""
+
+    #: Sentinel cached for keys whose program cannot be compiled.
+    UNSUPPORTED = object()
+
+    def __init__(self, capacity=64):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.unsupported = 0
+
+    def get_or_build(self, key, build):
+        """The cached plan for ``key``, compiling via ``build()`` on miss.
+
+        Compilation runs outside the cache lock (it traces a full
+        program); if two threads race on one key, the first insert wins
+        and the loser adopts it, so a key maps to one plan — and one set
+        of replay buffers — at a time.
+        """
+        with self._lock:
+            entry = self._entries.pop(key, _MISSING)
+            if entry is not _MISSING:
+                self._entries[key] = entry
+                self.hits += 1
+                return entry
+            self.misses += 1
+        try:
+            entry = build()
+        except TraceError:
+            entry = PlanCache.UNSUPPORTED
+        with self._lock:
+            if entry is PlanCache.UNSUPPORTED:
+                self.unsupported += 1
+            current = self._entries.pop(key, _MISSING)
+            if current is not _MISSING:
+                entry = current
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._entries
+
+    def stats(self):
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "capacity": self.capacity,
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "unsupported": self.unsupported}
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,575 @@
+"""Compiling a traced program into a flat, allocation-free replay plan.
+
+The compiler walks the :class:`~repro.nn.compile.trace.Tracer` node
+graph once and emits a flat list of ``functools.partial`` instructions —
+in-place numpy ufunc calls (``out=``) over float64 workspaces owned by a
+per-plan :class:`~repro.nn.compile.arena.Arena`.  Replaying the list is
+the whole execution: no Tensor objects, no backward closures, no
+topological sort, no temporary allocation.
+
+Bit-exactness contract (the reason the fused backend passes the parity
+suites): every emitted instruction evaluates *the same floating-point
+expression in the same order* as the eager engine —
+
+* forward instructions follow recording order (the eager execution
+  order), each ufunc writing into a preallocated buffer (``np.add(a, b,
+  out=c)`` produces the same bits as ``a + b``);
+* the backward schedule re-runs :meth:`Tensor.backward`'s exact
+  iterative topological sort over the traced graph at *compile* time,
+  so gradient contributions accumulate in the identical order, with the
+  identical ``_unbroadcast`` reduction sequence;
+* parameters live as views into one flat stack, so the Adam/SGD update
+  runs as a handful of whole-stack ufuncs replicating
+  :meth:`repro.nn.optim.Adam.step`'s documented in-place FP order
+  (parameters with no gradient keep an all-zero gradient slice, and an
+  Adam update under zero moments and zero gradient is exactly ``param
+  -= 0.0`` — bit-identical to the reference's skip).
+
+Data-dependent values (relu masks, abs signs, the sigmoid branch) are
+recomputed on every replay from the current buffer contents; only
+*shapes* and op structure are frozen into the plan.  Ops the compiler
+cannot prove bit-equal raise :class:`TraceError`, which the fused
+backend turns into a transparent reference fallback.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+
+import numpy as np
+
+from .arena import Arena
+from .trace import TraceError
+
+__all__ = ["Plan", "compile_plan"]
+
+
+def _sigmoid_forward(src, out):
+    # Replicates Tensor.sigmoid's two-branch formulation exactly (the
+    # branch is data-dependent, so it re-evaluates on every replay).
+    pos = src >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-src[pos]))
+    exp_x = np.exp(src[~pos])
+    out[~pos] = exp_x / (1.0 + exp_x)
+
+
+def _reshape_copy(out, src, shape):
+    np.copyto(out, src.reshape(shape))
+
+
+class Plan:
+    """A compiled program: preallocated buffers plus a flat instruction list.
+
+    Replays are guarded by :attr:`lock` — the buffers are plan-owned, so
+    two threads replaying one plan concurrently must serialize.  Arrays
+    handed out by a replay (parameter/gradient views, output buffers)
+    stay valid only until the next replay of the *same* plan.
+    """
+
+    def __init__(self, arena, instrs, param_names, param_flat, param_views,
+                 grad_flat, grad_views, received_params, input_bufs,
+                 outputs, optimizer=None, betas=(0.9, 0.999), eps=1e-8):
+        self.arena = arena
+        self.instrs = instrs
+        self.param_names = param_names
+        self.param_flat = param_flat
+        self.param_views = param_views
+        self.grad_flat = grad_flat
+        self.grad_views = grad_views
+        self.received_params = received_params
+        self.input_bufs = input_bufs          # [(name, buffer)]
+        self.outputs = outputs                # {name: buffer}
+        self.lock = threading.Lock()
+        self.replays = 0
+        self.optimizer = optimizer
+        if optimizer is not None:
+            self.beta1, self.beta2 = betas
+            self.eps = eps
+            size = param_flat.shape
+            self._upd = arena.empty(size)
+            self._den = arena.empty(size)
+            if optimizer == "adam":
+                self._m = arena.empty(size)
+                self._v = arena.empty(size)
+
+    # -- binding -------------------------------------------------------
+    def bind(self, param_arrays, input_arrays):
+        """Copy current parameter values and fresh inputs into the plan."""
+        for view, array in zip(self.param_views, param_arrays):
+            np.copyto(view, array)
+        for (_name, buf), array in zip(self.input_bufs, input_arrays):
+            np.copyto(buf, array)
+
+    # -- replay --------------------------------------------------------
+    def run_once(self):
+        """One forward (+ compiled backward) sweep over the buffers."""
+        for instr in self.instrs:
+            instr()
+        self.replays += 1
+
+    def run_adapt(self, steps, lr):
+        """``steps`` iterations of forward/backward + optimizer update.
+
+        Mirrors a fresh per-call optimizer: moments restart at zero and
+        the bias-correction step count restarts at 1.
+        """
+        if self.optimizer == "adam":
+            self._m.fill(0.0)
+            self._v.fill(0.0)
+            for t in range(1, steps + 1):
+                self.run_once()
+                self._adam_step(t, lr)
+        else:
+            for _ in range(steps):
+                self.run_once()
+                self._sgd_step(lr)
+
+    def _adam_step(self, t, lr):
+        # Whole-stack replica of Adam.step's documented in-place FP
+        # order; zero-gradient slices update by exactly 0.0.
+        b1, b2 = self.beta1, self.beta2
+        m, v = self._m, self._v
+        g, p = self.grad_flat, self.param_flat
+        upd, den = self._upd, self._den
+        bias1 = 1.0 - b1 ** t
+        bias2 = 1.0 - b2 ** t
+        np.multiply(m, b1, out=m)
+        np.multiply(g, 1 - b1, out=upd)
+        np.add(m, upd, out=m)
+        np.multiply(v, b2, out=v)
+        np.power(g, 2, out=upd)
+        np.multiply(upd, 1 - b2, out=upd)
+        np.add(v, upd, out=v)
+        np.divide(m, bias1, out=upd)
+        np.multiply(upd, lr, out=upd)
+        np.divide(v, bias2, out=den)
+        np.sqrt(den, out=den)
+        np.add(den, self.eps, out=den)
+        np.divide(upd, den, out=upd)
+        np.subtract(p, upd, out=p)
+
+    def _sgd_step(self, lr):
+        # fused_local_adapt always builds momentum-0 SGD.
+        np.multiply(self.grad_flat, lr, out=self._upd)
+        np.subtract(self.param_flat, self._upd, out=self.param_flat)
+
+
+class _Builder:
+    def __init__(self, tracer):
+        self.tracer = tracer
+        self.arena = Arena()
+        self.instrs = []
+        self.buf = {}        # node.idx -> forward value buffer / view
+        self.gradbuf = {}    # node.idx -> gradient accumulator
+        self.aux = {}        # node.idx -> auxiliary buffers (masks, signs)
+        self._received = set()
+
+    def _emit(self, fn, *args, **kwargs):
+        self.instrs.append(functools.partial(fn, *args, **kwargs))
+
+    # -- entry ---------------------------------------------------------
+    def build(self, root, outputs, optimizer, betas, eps):
+        tracer = self.tracer
+        param_names = [name for name, _node in tracer.params]
+        param_shapes = [node.shape for _name, node in tracer.params]
+        param_flat, param_views = self.arena.flat_views(param_shapes)
+        grad_flat, grad_views = self.arena.flat_views(param_shapes,
+                                                      zero=True)
+        for (_name, node), view, gview in zip(tracer.params, param_views,
+                                              grad_views):
+            self.buf[node.idx] = view
+            self.gradbuf[node.idx] = gview
+        input_bufs = []
+        for name, node in tracer.inputs:
+            buf = self.arena.empty(node.shape)
+            self.buf[node.idx] = buf
+            input_bufs.append((name, buf))
+        for node in tracer.nodes:
+            if node.kind == "const":
+                self.buf[node.idx] = node.const
+        for node in tracer.nodes:
+            if node.kind == "op":
+                self._emit_forward(node)
+        if root is not None:
+            self._compile_backward(root)
+        received_params = frozenset(
+            name for name, node in tracer.params
+            if node.idx in self._received)
+        out_bufs = {name: self.buf[node.idx]
+                    for name, node in outputs.items()}
+        return Plan(self.arena, self.instrs, param_names, param_flat,
+                    param_views, grad_flat, grad_views, received_params,
+                    input_bufs, out_bufs, optimizer=optimizer,
+                    betas=betas, eps=eps)
+
+    # -- forward -------------------------------------------------------
+    def _emit_forward(self, node):
+        op = node.op
+        bufs = [self.buf[p.idx] for p in node.parents]
+        shape = node.shape
+        if op in ("reshape", "swapaxes", "transpose"):
+            src = bufs[0]
+            if op == "swapaxes":
+                view = np.swapaxes(src, node.attrs["axis1"],
+                                   node.attrs["axis2"])
+            elif op == "transpose":
+                view = src.T
+            else:
+                view = src.reshape(shape)
+                if not np.shares_memory(view, src):
+                    # Non-contiguous source: reshape copies, so it must
+                    # re-run per replay instead of aliasing.
+                    out = self.arena.empty(shape)
+                    self.buf[node.idx] = out
+                    self._emit(_reshape_copy, out, src, shape)
+                    return
+            self.buf[node.idx] = view
+            return
+        out = self.arena.empty(shape)
+        self.buf[node.idx] = out
+        if op == "add":
+            self._emit(np.add, bufs[0], bufs[1], out=out)
+        elif op == "sub":
+            self._emit(np.subtract, bufs[0], bufs[1], out=out)
+        elif op == "mul":
+            self._emit(np.multiply, bufs[0], bufs[1], out=out)
+        elif op == "div":
+            self._emit(np.divide, bufs[0], bufs[1], out=out)
+        elif op == "neg":
+            self._emit(np.negative, bufs[0], out=out)
+        elif op == "pow":
+            self._emit(np.power, bufs[0], node.attrs["exponent"], out=out)
+        elif op == "matmul":
+            self._emit(np.matmul, bufs[0], bufs[1], out=out)
+        elif op == "relu":
+            mask = self.arena.empty(node.parents[0].shape, dtype=bool)
+            self.aux[node.idx] = mask
+            self._emit(np.greater, bufs[0], 0, out=mask)
+            self._emit(np.multiply, bufs[0], mask, out=out)
+        elif op == "sigmoid":
+            self._emit(_sigmoid_forward, bufs[0], out)
+        elif op == "tanh":
+            self._emit(np.tanh, bufs[0], out=out)
+        elif op == "exp":
+            self._emit(np.exp, bufs[0], out=out)
+        elif op == "log":
+            self._emit(np.log, bufs[0], out=out)
+        elif op == "sqrt":
+            self._emit(np.sqrt, bufs[0], out=out)
+        elif op == "abs":
+            sign = self.arena.empty(node.parents[0].shape)
+            self.aux[node.idx] = sign
+            self._emit(np.sign, bufs[0], out=sign)
+            self._emit(np.absolute, bufs[0], out=out)
+        elif op == "sum":
+            self._emit(np.sum, bufs[0], axis=node.attrs["axis"],
+                       keepdims=node.attrs["keepdims"], out=out)
+        elif op == "mean":
+            self._emit(np.mean, bufs[0], axis=node.attrs["axis"],
+                       keepdims=node.attrs["keepdims"], out=out)
+        elif op == "concat":
+            self._emit(np.concatenate, bufs, axis=node.attrs["axis"],
+                       out=out)
+        else:
+            raise TraceError(
+                "fused executor cannot replay op {!r}".format(op))
+
+    # -- backward ------------------------------------------------------
+    def _compile_backward(self, root):
+        seed = self.arena.ones(root.shape)
+        self.gradbuf[root.idx] = seed
+        self._received.add(root.idx)
+        order = self._toposort(root)
+        for node in reversed(order):
+            if node.idx not in self._received:
+                continue
+            if node.kind != "op" or not node.tracked:
+                continue
+            self._emit_backward(node)
+
+    def _toposort(self, root):
+        # Byte-for-byte the traversal of Tensor.backward, so the
+        # reversed order — and with it every gradient accumulation
+        # order — matches the eager engine.
+        order, seen = [], set()
+        stack = [(root, False)]
+        while stack:
+            cur, processed = stack.pop()
+            if processed:
+                order.append(cur)
+                continue
+            if cur.idx in seen:
+                continue
+            seen.add(cur.idx)
+            stack.append((cur, True))
+            parents = cur.parents if cur.tracked else ()
+            for parent in parents:
+                if parent.idx not in seen:
+                    stack.append((parent, False))
+        return order
+
+    def _grad_target(self, node):
+        buf = self.gradbuf.get(node.idx)
+        if buf is None:
+            buf = self.arena.empty(node.shape)
+            self.gradbuf[node.idx] = buf
+        return buf
+
+    def _contrib_ref(self, parent, src):
+        """Accumulate an existing buffer/view (broadcastable up) as a
+        gradient contribution, replicating first-write-then-add."""
+        dst = self._grad_target(parent)
+        if parent.idx in self._received:
+            self._emit(np.add, dst, src, out=dst)
+        else:
+            self._emit(np.copyto, dst, src)
+            self._received.add(parent.idx)
+
+    def _contrib(self, parent, raw_shape, emit_raw):
+        """Accumulate a computed contribution.
+
+        ``emit_raw(dst)`` emits instructions writing the raw gradient
+        (shape ``raw_shape``) into ``dst``; an ``_unbroadcast``
+        reduction chain is appended when the parent is smaller.
+        """
+        raw_shape = tuple(raw_shape)
+        if raw_shape == tuple(parent.shape):
+            dst = self._grad_target(parent)
+            if parent.idx in self._received:
+                tmp = self.arena.empty(raw_shape)
+                emit_raw(tmp)
+                self._emit(np.add, dst, tmp, out=dst)
+            else:
+                emit_raw(dst)
+                self._received.add(parent.idx)
+        else:
+            tmp = self.arena.empty(raw_shape)
+            emit_raw(tmp)
+            self._contrib_ref(parent,
+                              self._emit_unbroadcast(tmp, parent.shape))
+
+    def _contrib_down(self, parent, src):
+        """A pass-through contribution (raw gradient is ``src`` itself)."""
+        if tuple(src.shape) == tuple(parent.shape):
+            self._contrib_ref(parent, src)
+        else:
+            self._contrib_ref(parent,
+                              self._emit_unbroadcast(src, parent.shape))
+
+    def _emit_unbroadcast(self, buf, shape):
+        """Emit the exact reduction sequence of ``tensor._unbroadcast``."""
+        shape = tuple(shape)
+        cur, cur_shape = buf, tuple(buf.shape)
+        extra = len(cur_shape) - len(shape)
+        if extra > 0:
+            nxt_shape = cur_shape[extra:]
+            nxt = self.arena.empty(nxt_shape)
+            self._emit(np.sum, cur, axis=tuple(range(extra)), out=nxt)
+            cur, cur_shape = nxt, nxt_shape
+        axes = tuple(i for i, s in enumerate(shape)
+                     if s == 1 and cur_shape[i] != 1)
+        if axes:
+            nxt_shape = tuple(1 if i in axes else s
+                              for i, s in enumerate(cur_shape))
+            nxt = self.arena.empty(nxt_shape)
+            self._emit(np.sum, cur, axis=axes, keepdims=True, out=nxt)
+            cur, cur_shape = nxt, nxt_shape
+        return cur.reshape(shape)
+
+    def _emit_backward(self, node):
+        g = self.gradbuf[node.idx]
+        op = node.op
+        ps = node.parents
+        out = self.buf[node.idx]
+        if op == "add":
+            for parent in ps:
+                if parent.requires_grad:
+                    self._contrib_down(parent, g)
+        elif op == "sub":
+            a, b = ps
+            if a.requires_grad:
+                self._contrib_down(a, g)
+            if b.requires_grad:
+                self._contrib(b, g.shape, lambda dst: self._emit(
+                    np.negative, g, out=dst))
+        elif op == "neg":
+            if ps[0].requires_grad:
+                self._contrib(ps[0], g.shape, lambda dst: self._emit(
+                    np.negative, g, out=dst))
+        elif op == "mul":
+            a, b = ps
+            abuf, bbuf = self.buf[a.idx], self.buf[b.idx]
+            if a.requires_grad:
+                self._contrib(a, g.shape, lambda dst: self._emit(
+                    np.multiply, g, bbuf, out=dst))
+            if b.requires_grad:
+                self._contrib(b, g.shape, lambda dst: self._emit(
+                    np.multiply, g, abuf, out=dst))
+        elif op == "div":
+            a, b = ps
+            abuf, bbuf = self.buf[a.idx], self.buf[b.idx]
+            if a.requires_grad:
+                self._contrib(a, g.shape, lambda dst: self._emit(
+                    np.divide, g, bbuf, out=dst))
+            if b.requires_grad:
+                tb = self.arena.empty(b.shape)
+
+                def raw(dst):
+                    # ((-grad) * a) / (b ** 2), the reference FP order
+                    self._emit(np.negative, g, out=dst)
+                    self._emit(np.multiply, dst, abuf, out=dst)
+                    self._emit(np.power, bbuf, 2, out=tb)
+                    self._emit(np.divide, dst, tb, out=dst)
+                self._contrib(b, g.shape, raw)
+        elif op == "pow":
+            if ps[0].requires_grad:
+                abuf = self.buf[ps[0].idx]
+                exponent = node.attrs["exponent"]
+                ta = self.arena.empty(ps[0].shape)
+
+                def raw(dst):
+                    # ((grad * e) * a ** (e - 1)), the reference FP order
+                    self._emit(np.multiply, g, exponent, out=dst)
+                    self._emit(np.power, abuf, exponent - 1, out=ta)
+                    self._emit(np.multiply, dst, ta, out=dst)
+                self._contrib(ps[0], g.shape, raw)
+        elif op == "matmul":
+            self._emit_matmul_backward(node, g)
+        elif op == "relu":
+            if ps[0].requires_grad:
+                mask = self.aux[node.idx]
+                self._contrib(ps[0], g.shape, lambda dst: self._emit(
+                    np.multiply, g, mask, out=dst))
+        elif op == "sigmoid":
+            if ps[0].requires_grad:
+                t = self.arena.empty(node.shape)
+
+                def raw(dst):
+                    # (grad * out) * (1.0 - out)
+                    self._emit(np.multiply, g, out, out=dst)
+                    self._emit(np.subtract, 1.0, out, out=t)
+                    self._emit(np.multiply, dst, t, out=dst)
+                self._contrib(ps[0], g.shape, raw)
+        elif op == "tanh":
+            if ps[0].requires_grad:
+                t = self.arena.empty(node.shape)
+
+                def raw(dst):
+                    # grad * (1.0 - out ** 2)
+                    self._emit(np.power, out, 2, out=t)
+                    self._emit(np.subtract, 1.0, t, out=t)
+                    self._emit(np.multiply, g, t, out=dst)
+                self._contrib(ps[0], g.shape, raw)
+        elif op == "exp":
+            if ps[0].requires_grad:
+                self._contrib(ps[0], g.shape, lambda dst: self._emit(
+                    np.multiply, g, out, out=dst))
+        elif op == "log":
+            if ps[0].requires_grad:
+                abuf = self.buf[ps[0].idx]
+                self._contrib(ps[0], g.shape, lambda dst: self._emit(
+                    np.divide, g, abuf, out=dst))
+        elif op == "sqrt":
+            if ps[0].requires_grad:
+                def raw(dst):
+                    # (grad * 0.5) / out
+                    self._emit(np.multiply, g, 0.5, out=dst)
+                    self._emit(np.divide, dst, out, out=dst)
+                self._contrib(ps[0], g.shape, raw)
+        elif op == "abs":
+            if ps[0].requires_grad:
+                sign = self.aux[node.idx]
+                self._contrib(ps[0], g.shape, lambda dst: self._emit(
+                    np.multiply, g, sign, out=dst))
+        elif op == "sum":
+            if ps[0].requires_grad:
+                axis, keepdims = node.attrs["axis"], node.attrs["keepdims"]
+                gsrc = g
+                if axis is not None and not keepdims:
+                    gsrc = np.expand_dims(g, axis)
+                self._contrib_ref(ps[0], gsrc)
+        elif op == "mean":
+            if ps[0].requires_grad:
+                axis, keepdims = node.attrs["axis"], node.attrs["keepdims"]
+                count = node.attrs["count"]
+                t = self.arena.empty(node.shape)
+                self._emit(np.divide, g, count, out=t)
+                gsrc = t
+                if axis is not None and not keepdims:
+                    gsrc = np.expand_dims(t, axis)
+                self._contrib_ref(ps[0], gsrc)
+        elif op == "reshape":
+            if ps[0].requires_grad:
+                self._contrib_ref(ps[0], g.reshape(ps[0].shape))
+        elif op == "swapaxes":
+            if ps[0].requires_grad:
+                self._contrib_ref(ps[0], np.swapaxes(
+                    g, node.attrs["axis1"], node.attrs["axis2"]))
+        elif op == "transpose":
+            if ps[0].requires_grad:
+                self._contrib_ref(ps[0], g.T)
+        elif op == "concat":
+            pieces = np.split(g, node.attrs["splits"],
+                              axis=node.attrs["axis"])
+            for parent, piece in zip(ps, pieces):
+                if parent.requires_grad:
+                    self._contrib_ref(parent, piece)
+        else:
+            raise TraceError(
+                "fused executor cannot differentiate op {!r}".format(op))
+
+    def _emit_matmul_backward(self, node, g):
+        a, b = node.parents
+        abuf, bbuf = self.buf[a.idx], self.buf[b.idx]
+        an, bn = len(a.shape), len(b.shape)
+        if an == 1 and bn == 1:
+            if a.requires_grad:
+                self._contrib(a, a.shape, lambda dst: self._emit(
+                    np.multiply, g, bbuf, out=dst))
+            if b.requires_grad:
+                self._contrib(b, b.shape, lambda dst: self._emit(
+                    np.multiply, g, abuf, out=dst))
+            return
+        if an == 1:
+            if a.requires_grad:
+                self._contrib(a, a.shape, lambda dst: self._emit(
+                    np.matmul, g, bbuf.T, out=dst))
+            if b.requires_grad:
+                self._contrib(b, b.shape, lambda dst: self._emit(
+                    np.outer, abuf, g, out=dst))
+            return
+        if bn == 1:
+            if a.requires_grad:
+                self._contrib(a, a.shape, lambda dst: self._emit(
+                    np.outer, g, bbuf, out=dst))
+            if b.requires_grad:
+                self._contrib(b, b.shape, lambda dst: self._emit(
+                    np.matmul, abuf.T, g, out=dst))
+            return
+        if a.requires_grad:
+            bT = np.swapaxes(bbuf, -1, -2)
+            raw_shape = np.broadcast_shapes(
+                g.shape[:-2], bT.shape[:-2]) + (g.shape[-2], bT.shape[-1])
+            self._contrib(a, raw_shape, lambda dst: self._emit(
+                np.matmul, g, bT, out=dst))
+        if b.requires_grad:
+            aT = np.swapaxes(abuf, -1, -2)
+            raw_shape = np.broadcast_shapes(
+                aT.shape[:-2], g.shape[:-2]) + (aT.shape[-2], g.shape[-1])
+            self._contrib(b, raw_shape, lambda dst: self._emit(
+                np.matmul, aT, g, out=dst))
+
+
+def compile_plan(tracer, *, root=None, outputs=None, optimizer=None,
+                 betas=(0.9, 0.999), eps=1e-8):
+    """Compile a traced graph into a :class:`Plan`.
+
+    ``root`` names the scalar loss node to differentiate (omit for
+    forward-only plans); ``outputs`` maps result names to traced nodes;
+    ``optimizer`` bakes an in-plan ``"adam"`` / ``"sgd"`` update for
+    :meth:`Plan.run_adapt`.  Raises :class:`TraceError` when the graph
+    contains an op the fused executor cannot replay bit-exactly.
+    """
+    return _Builder(tracer).build(root, outputs or {}, optimizer,
+                                  betas, eps)

@@ -1,0 +1,152 @@
+"""Recording one autograd program as a flat, replayable node graph.
+
+A :class:`Tracer` hooks :meth:`repro.nn.tensor.Tensor._from_op` (via the
+module's tracer stack) while the *real* program runs once on real data.
+Every op lands as a :class:`Node` carrying exactly what the plan
+compiler needs: the op name, the parent nodes in call order, the output
+shape, and the two flags the eager engine's backward pass branches on —
+``requires_grad`` (may receive gradient) and ``tracked`` (had recorded
+parents, i.e. participates in graph traversal).  Replaying the node list
+in recording order therefore reproduces the eager forward pass, and
+re-running the eager engine's topological sort over the node graph
+reproduces its backward accumulation order bit for bit.
+
+Leaves are classified at first sight:
+
+* **inputs** — registered by the backend before tracing (by tensor
+  identity *and* by the identity of the wrapped ndarray, because
+  functional helpers unwrap ``Tensor.data`` and re-wrap it in a fresh
+  Tensor); rebound to fresh values on every replay.
+* **params** — registered trainable leaves; bound from ``param.data``
+  at the start of each replayed call.
+* **consts** — anything else without ``requires_grad`` (e.g. the tiler
+  matrix, scalar literals); the traced value is captured by copy and
+  baked into the plan.  An unregistered *trainable* leaf aborts the
+  trace instead of silently baking a stale parameter.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from ..tensor import _pop_tracer, _push_tracer
+
+__all__ = ["TraceError", "Node", "Tracer", "tracing"]
+
+
+class TraceError(RuntimeError):
+    """The traced program used an op the fused executor cannot replay.
+
+    Raising this is not fatal: the fused backend catches it, marks the
+    (shape-bucket, hyper-parameter) key as unsupported in its plan
+    cache, and transparently falls back to the reference executor.
+    """
+
+
+class Node:
+    """One value in the traced program (leaf or op output)."""
+
+    __slots__ = ("idx", "kind", "op", "parents", "attrs", "shape",
+                 "requires_grad", "tracked", "const")
+
+    def __init__(self, idx, kind, op, parents, attrs, shape,
+                 requires_grad, tracked, const=None):
+        self.idx = idx
+        self.kind = kind              # "input" | "param" | "const" | "op"
+        self.op = op                  # op name, None for leaves
+        self.parents = parents        # tuple of Nodes, call order
+        self.attrs = attrs or {}
+        self.shape = shape
+        self.requires_grad = requires_grad
+        self.tracked = tracked        # had recorded parents (graph edge)
+        self.const = const            # captured value for const leaves
+
+    def __repr__(self):
+        return "Node({}, {}, shape={})".format(
+            self.idx, self.op or self.kind, self.shape)
+
+
+class Tracer:
+    """Collects the op stream of one program run into a node graph."""
+
+    def __init__(self):
+        self.nodes = []
+        self.inputs = []              # [(name, Node)] in registration order
+        self.params = []              # [(name, Node)] in registration order
+        self._by_tensor = {}          # id(Tensor) -> Node
+        self._by_array = {}           # id(ndarray) -> Node (input rebinding)
+        # Tensors created during the trace are pinned so CPython cannot
+        # recycle an id() mid-trace and alias two distinct values.
+        self._keepalive = []
+
+    # -- leaf registration (before the traced run) ---------------------
+    def register_input(self, name, tensor):
+        """Declare a per-replay input (rebound to fresh data each call)."""
+        node = self._new_leaf("input", tensor, requires_grad=False)
+        self.inputs.append((name, node))
+        return node
+
+    def register_param(self, name, tensor):
+        """Declare a trainable leaf (bound from ``param.data`` per call)."""
+        node = self._new_leaf("param", tensor, requires_grad=True)
+        self.params.append((name, node))
+        return node
+
+    def _new_leaf(self, kind, tensor, requires_grad, const=None):
+        node = Node(len(self.nodes), kind, None, (), None,
+                    tensor.data.shape, requires_grad, tracked=False,
+                    const=const)
+        self.nodes.append(node)
+        self._by_tensor[id(tensor)] = node
+        self._by_array[id(tensor.data)] = node
+        self._keepalive.append(tensor)
+        return node
+
+    # -- the Tensor._from_op hook --------------------------------------
+    def record(self, out, op, parents, attrs, tracked):
+        if op is None:
+            raise TraceError("op without a trace name reached the tracer")
+        pnodes = tuple(self._node_of(p) for p in parents)
+        node = Node(len(self.nodes), "op", op, pnodes, attrs,
+                    out.data.shape, out.requires_grad, tracked)
+        self.nodes.append(node)
+        self._by_tensor[id(out)] = node
+        self._keepalive.append(out)
+
+    def _node_of(self, tensor):
+        node = self._by_tensor.get(id(tensor))
+        if node is not None:
+            return node
+        # Unwrapped-and-rewrapped input: functional helpers pull out
+        # ``Tensor.data`` and wrap it again, preserving array identity.
+        node = self._by_array.get(id(tensor.data))
+        if node is not None:
+            self._by_tensor[id(tensor)] = node
+            self._keepalive.append(tensor)
+            return node
+        if tensor.requires_grad:
+            raise TraceError(
+                "trace reached an unregistered trainable leaf; register "
+                "every parameter before running the program")
+        # Plain constant: capture the traced value by copy.
+        return self._new_leaf("const", tensor, requires_grad=False,
+                              const=tensor.data.copy())
+
+    def node_for(self, tensor):
+        """The node a traced output tensor maps to (for plan outputs)."""
+        node = self._by_tensor.get(id(tensor))
+        if node is None:
+            raise TraceError("tensor was not produced under this tracer")
+        return node
+
+
+@contextlib.contextmanager
+def tracing(tracer):
+    """Install ``tracer`` as the active op hook for the block."""
+    _push_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        _pop_tracer(tracer)

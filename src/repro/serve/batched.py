@@ -71,7 +71,13 @@ def _prepare_local_models(requests):
 
 
 def _adapt_bucket(requests):
-    """Fused adaptation of shape-compatible requests (one per task)."""
+    """Fused adaptation of shape-compatible requests (one per task).
+
+    Rides :func:`fused_local_adapt` and therefore the active
+    :mod:`repro.nn.compile` backend — under ``fused``, a recurring
+    bucket shape replays one compiled plan with zero graph construction
+    (bit-identical results either way).
+    """
     first = requests[0]
     models, conversions = _prepare_local_models(requests)
 
@@ -128,6 +134,10 @@ def predict_adapted_batch(adapted_classifiers, tuple_vectors, threshold=0.5):
     tuple_vectors = np.asarray(tuple_vectors, dtype=np.float64)
     xs = np.broadcast_to(tuple_vectors,
                          (batched.k,) + tuple_vectors.shape)
+    # Deliberately NOT routed through the compiled backend: xs is a
+    # stride-0 broadcast of one shared row block, which the eager path
+    # feeds to the gemm zero-copy; a compiled plan's input copy-in
+    # would materialize it K times over.
     with nn.no_grad():
         logits = batched.forward(features, xs, conversion=conversion)
     proba = logits.sigmoid().numpy()

@@ -97,8 +97,9 @@ class SessionManager:
         # Freshness watermarks per (session_id, store uid): the store
         # version each session last answered at plus that answer, so
         # predict_many_store re-scans only chunks newer than the
-        # watermark (see predict_many_store).  Process-local cache, not
-        # part of snapshots: a restored manager simply rescans once.
+        # watermark (see predict_many_store).  Included in snapshots, so
+        # a restored manager resumes incremental scanning instead of
+        # paying one full rescan per session.
         self._store_marks = {}
         self.last_store_scan = None
         self._queue = deque()
@@ -685,6 +686,17 @@ class SessionManager:
                 ],
                 "cache": self.cache.state_dict(),
                 "hulls": registry.state(),
+                "store_marks": [
+                    {"session_id": int(sid), "uid": str(uid),
+                     "version": int(mark["version"]),
+                     "n_rows": int(mark["n_rows"]),
+                     "closed": int(mark["closed"]),
+                     "closed_rows": int(mark["closed_rows"]),
+                     "tail_digest": mark["tail_digest"],
+                     "models": [int(v) for v in mark["models"]],
+                     "result": mark["result"].copy()}
+                    for (sid, uid), mark in self._store_marks.items()
+                ],
             }
 
     @classmethod
@@ -734,6 +746,22 @@ class SessionManager:
                 {"subspace": list(e["subspace"]), "error": str(e["error"])}
                 for e in entry["errors"]]
         manager.cache.load_state_dict(snapshot["cache"])
+        # Store-scan watermarks (absent in pre-watermark snapshots):
+        # validity is re-checked against the live store on first use, so
+        # restoring against a since-mutated store degrades to a rescan.
+        for entry in snapshot.get("store_marks", []):
+            session_id = int(entry["session_id"])
+            if session_id not in manager._sessions:
+                continue
+            manager._store_marks[(session_id, str(entry["uid"]))] = {
+                "version": int(entry["version"]),
+                "n_rows": int(entry["n_rows"]),
+                "closed": int(entry["closed"]),
+                "closed_rows": int(entry["closed_rows"]),
+                "tail_digest": entry["tail_digest"],
+                "models": tuple(int(v) for v in entry["models"]),
+                "result": np.asarray(entry["result"]).astype(np.int8),
+            }
         return manager
 
     # ------------------------------------------------------------------

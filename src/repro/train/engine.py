@@ -34,8 +34,8 @@ import numpy as np
 from ..nn.batching import (BatchedUISClassifier, fused_local_adapt,
                            grad_stacks, load_flat_stack, stacked_predict,
                            theta_r_grad_stack)
-from ..nn.functional import (batched_binary_cross_entropy_with_logits,
-                             batched_pos_weight)
+from ..nn.compile import get_backend
+from ..nn.functional import batched_pos_weight
 from ..nn.optim import Adam
 
 __all__ = ["encode_task_sets", "MetaBatchSlot", "run_meta_batch_fused",
@@ -106,6 +106,13 @@ def run_meta_batch_fused(slots):
     order, deferred memory EMA updates in task order, one Eq. 13 step on
     each trainer's phi.
 
+    Both the local and the global phase execute on the active
+    :mod:`repro.nn.compile` backend.  Parity guarantee: every backend
+    evaluates the identical float64 op sequence in the identical order,
+    so phi updates, memories, and query losses are bit-identical
+    whether the program runs eagerly (``reference``) or as a compiled
+    replay (``fused``).
+
     Returns the per-slot lists of query losses, in slot order.
     """
     first_params = slots[0].trainer.params
@@ -152,19 +159,15 @@ def run_meta_batch_fused(slots):
     # capture them before the global backward overwrites the stacks.
     theta_grads = theta_r_grad_stack(batched)
 
-    # Global phase (Eq. 13): all K query losses in one forward/backward.
-    batched.zero_grad()
-    if conversion is not None:
-        conversion.zero_grad()
+    # Global phase (Eq. 13): all K query losses in one forward/backward
+    # on the active repro.nn.compile backend.
     qy_stack = np.stack(qys)
     pos_weight = batched_pos_weight(qy_stack) \
         if first_params.balance_classes else None
-    logits = batched.forward(features, np.stack(qxs), conversion=conversion)
-    task_losses = batched_binary_cross_entropy_with_logits(
-        logits, qy_stack, pos_weight=pos_weight)
-    task_losses.sum().backward()
+    task_losses = get_backend().loss_backward(
+        batched, conversion, features, np.stack(qxs), qy_stack, pos_weight)
     stacks = grad_stacks(batched)
-    loss_values = [float(value) for value in np.asarray(task_losses.data)]
+    loss_values = [float(value) for value in np.asarray(task_losses)]
 
     out = []
     offset = 0
@@ -244,11 +247,11 @@ def run_pretrain_epoch_pooled(schedules):
         ys = np.stack([pick[2] for pick in picks])
         pos_weight = batched_pos_weight(ys) \
             if params.balance_classes else None
-        optimizer.zero_grad()
-        logits = batched.forward(features, xs, conversion=conversion)
-        loss = batched_binary_cross_entropy_with_logits(
-            logits, ys, pos_weight=pos_weight).sum()
-        loss.backward()
+        # One stacked forward/backward on the active backend (it zeroes
+        # and repopulates the parameter gradients), then the persistent
+        # stacked Adam consumes them — bit-identical either way.
+        get_backend().loss_backward(batched, conversion, features, xs, ys,
+                                    pos_weight)
         optimizer.step()
 
     batched.unstack_into(models)

@@ -368,12 +368,17 @@ def run_offline_training(lte, subspaces, engine=None, progress=None,
 
 
 def _save_run(checkpoint, lte, subspaces, schedules, engine):
+    from ..nn.compile import get_backend
     from ..persist.state import save_pretrain_run
 
     entries = [{"names": list(subspace.names),
                 "schedule": schedule.state_dict()}
                for subspace, schedule in zip(subspaces, schedules)]
-    save_pretrain_run(checkpoint, lte, entries, meta={"engine": engine})
+    # The nn backend is recorded for provenance only: backends are
+    # bit-identical, so a run may resume under either.
+    save_pretrain_run(checkpoint, lte, entries,
+                      meta={"engine": engine,
+                            "nn_backend": get_backend().name})
 
 
 def _entry_done(entry):

@@ -1,0 +1,400 @@
+"""Fused-vs-reference parity and plan-cache behavior of repro.nn.compile.
+
+The fused backend replays a compiled instruction list over preallocated
+buffers; its contract is **bit identity** with the eager reference
+engine.  This suite asserts that contract directly over the axes that
+change the compiled program (optimizer, class balancing, conversion
+handling, step count), then pins the caching machinery the speedup
+rests on: shape-bucket keying, bounded eviction, unsupported-program
+fallback, thread safety, and steady-state allocation behavior.
+"""
+
+import threading
+import tracemalloc
+
+import numpy as np
+import pytest
+
+import repro.nn.compile as compile_mod
+from repro.core.meta_learner import UISClassifier
+from repro.nn import (Parameter, Tensor, fused_local_adapt, grad_stacks,
+                      stacked_predict)
+from repro.nn.batching import BatchedUISClassifier
+from repro.nn.compile import (FusedBackend, PlanCache, ReferenceBackend,
+                              available_backends, backend_scope, get_backend,
+                              moment_pool, set_backend)
+from repro.nn.functional import batched_pos_weight
+from repro.nn.layers import Module
+
+pytestmark = pytest.mark.compile
+
+KU, WIDTH, EMBED, HIDDEN = 6, 5, 4, 3
+
+
+def make_models(k, use_conversion=False, seed=0):
+    return [UISClassifier(ku=KU, input_width=WIDTH, embed_size=EMBED,
+                          hidden_size=HIDDEN, use_conversion=use_conversion,
+                          seed=seed * 97 + i) for i in range(k)]
+
+
+def make_task_data(k, n, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(k, KU))
+    xs = rng.normal(size=(k, n, WIDTH))
+    ys = (rng.random(size=(k, n)) < 0.4).astype(np.float64)
+    ys[:, 0] = 1.0  # both classes present in every task
+    ys[:, 1] = 0.0
+    return features, xs, ys
+
+
+def make_conversions(k, seed=0):
+    rng = np.random.default_rng(seed + 1000)
+    return [rng.normal(size=(EMBED, 3 * EMBED)) * 0.3 for _ in range(k)]
+
+
+def adapt_under(backend, *, k=4, n=6, steps=2, optimizer="adam",
+                balance=True, use_conversion=False, seed=0, lr=0.05):
+    """Run the full fused_local_adapt + stacked_predict consumer pair
+    under ``backend`` and capture every observable output (copied, since
+    fused gradients alias plan workspace until the next replay)."""
+    models = make_models(k, use_conversion=use_conversion, seed=seed)
+    features, xs, ys = make_task_data(k, n, seed=seed)
+    conversions = make_conversions(k, seed=seed) if use_conversion else None
+    with backend_scope(backend):
+        batched, conversion = fused_local_adapt(
+            models, features, xs, ys, conversions=conversions, steps=steps,
+            lr=lr, optimizer_kind=optimizer, balance_classes=balance)
+        grads = {name: (None if g is None else np.array(g))
+                 for name, g in grad_stacks(batched).items()}
+        conv_grad = (np.array(conversion.grad)
+                     if conversion is not None and conversion.grad is not None
+                     else None)
+        preds = stacked_predict(batched, features, xs, conversion=conversion)
+    state = batched.state_dict()
+    conv = None if conversion is None else np.array(conversion.data)
+    return {"state": state, "grads": grads, "conv": conv,
+            "conv_grad": conv_grad, "preds": preds}
+
+
+def assert_bit_identical(ref, fused):
+    assert set(ref["state"]) == set(fused["state"])
+    for name in ref["state"]:
+        assert np.array_equal(ref["state"][name], fused["state"][name]), name
+    assert set(ref["grads"]) == set(fused["grads"])
+    for name in ref["grads"]:
+        a, b = ref["grads"][name], fused["grads"][name]
+        assert (a is None) == (b is None), name
+        if a is not None:
+            assert np.array_equal(a, b), name
+    for key in ("conv", "conv_grad"):
+        a, b = ref[key], fused[key]
+        assert (a is None) == (b is None), key
+        if a is not None:
+            assert np.array_equal(a, b), key
+    assert np.array_equal(ref["preds"], fused["preds"])
+
+
+# -- parity matrix: adapt + predict ------------------------------------
+
+ADAPT_CASES = [
+    # (optimizer, balance, use_conversion, steps, k, n)
+    ("adam", True, False, 1, 4, 6),
+    ("adam", True, False, 3, 4, 6),
+    ("adam", False, False, 2, 3, 5),
+    ("adam", True, True, 2, 4, 6),
+    ("adam", False, True, 3, 2, 7),
+    ("sgd", True, False, 2, 4, 6),
+    ("sgd", False, True, 2, 3, 5),
+    ("adam", True, False, 2, 1, 4),   # single-task stack
+]
+
+
+@pytest.mark.parametrize("optimizer,balance,use_conversion,steps,k,n",
+                         ADAPT_CASES)
+def test_adapt_and_predict_parity(optimizer, balance, use_conversion,
+                                  steps, k, n):
+    kwargs = dict(optimizer=optimizer, balance=balance,
+                  use_conversion=use_conversion, steps=steps, k=k, n=n,
+                  seed=steps + k)
+    ref = adapt_under(ReferenceBackend(), **kwargs)
+    backend = FusedBackend()
+    fused = adapt_under(backend, **kwargs)
+    assert backend.fallbacks == 0
+    assert backend.replays == 2  # one adapt + one predict replay
+    assert_bit_identical(ref, fused)
+
+
+def test_repeated_replay_stays_bit_identical():
+    """Replays 2..N reuse the plan's buffers; results must not drift."""
+    backend = FusedBackend()
+    runs = [adapt_under(backend, seed=7) for _ in range(3)]
+    ref = adapt_under(ReferenceBackend(), seed=7)
+    for run in runs:
+        assert_bit_identical(ref, run)
+    assert backend.plans.stats()["misses"] == 2  # adapt + predict plans
+
+
+# -- parity: loss_backward (meta global phase / pooled pretraining) ----
+
+def loss_backward_under(backend, conversion_mode, balance, *, k=4, n=6,
+                        seed=0):
+    models = make_models(k, use_conversion=(conversion_mode != "none"),
+                         seed=seed)
+    batched = BatchedUISClassifier(models)
+    features, xs, ys = make_task_data(k, n, seed=seed)
+    if conversion_mode == "none":
+        conversion = None
+    elif conversion_mode == "array":
+        conversion = np.stack(make_conversions(k, seed=seed))
+    else:
+        conversion = Parameter(np.stack(make_conversions(k, seed=seed)))
+    pos_weight = batched_pos_weight(ys) if balance else None
+    losses = backend.loss_backward(batched, conversion, features, xs, ys,
+                                   pos_weight)
+    grads = {name: (None if p.grad is None else np.array(p.grad))
+             for name, p in batched.named_parameters()}
+    conv_grad = None
+    if isinstance(conversion, Parameter) and conversion.grad is not None:
+        conv_grad = np.array(conversion.grad)
+    return np.array(losses), grads, conv_grad
+
+
+@pytest.mark.parametrize("conversion_mode", ["none", "array", "parameter"])
+@pytest.mark.parametrize("balance", [True, False])
+def test_loss_backward_parity(conversion_mode, balance):
+    ref = loss_backward_under(ReferenceBackend(), conversion_mode, balance,
+                              seed=3)
+    backend = FusedBackend()
+    fused = loss_backward_under(backend, conversion_mode, balance, seed=3)
+    assert backend.fallbacks == 0
+    assert np.array_equal(ref[0], fused[0])
+    for name in ref[1]:
+        a, b = ref[1][name], fused[1][name]
+        assert (a is None) == (b is None), name
+        if a is not None:
+            assert np.array_equal(a, b), name
+    assert (ref[2] is None) == (fused[2] is None)
+    if ref[2] is not None:
+        assert np.array_equal(ref[2], fused[2])
+
+
+# -- satellite: plan-cache keying, eviction, fallback ------------------
+
+class TestPlanCache:
+    def test_same_shapes_hit_one_plan(self):
+        backend = FusedBackend()
+        for seed in range(3):
+            adapt_under(backend, seed=seed)
+        stats = backend.plans.stats()
+        # One adapt plan + one predict plan serve all three rounds.
+        assert stats["entries"] == 2
+        assert stats["misses"] == 2
+        assert stats["hits"] == 4
+        assert stats["unsupported"] == 0
+        assert backend.replays == 6
+
+    def test_new_shapes_miss(self):
+        backend = FusedBackend()
+        adapt_under(backend, n=6)
+        adapt_under(backend, n=7)          # new batch shape
+        adapt_under(backend, n=6, k=5)     # new stack height
+        adapt_under(backend, n=6, optimizer="sgd")  # new optimizer kind
+        stats = backend.plans.stats()
+        # sgd adapt is a distinct plan; its predict plan is shared with
+        # the first (same shapes), hence 7 = 4 adapt + 3 predict.
+        assert stats["misses"] == 7
+        assert stats["entries"] == 7
+
+    def test_lr_and_steps_are_replay_time(self):
+        """One plan serves every (lr, steps) combination of its bucket."""
+        backend = FusedBackend()
+        ref = adapt_under(ReferenceBackend(), steps=3, lr=0.11, seed=5)
+        adapt_under(backend, steps=1, lr=0.05, seed=5)
+        fused = adapt_under(backend, steps=3, lr=0.11, seed=5)
+        assert backend.plans.stats()["misses"] == 2
+        assert_bit_identical(ref, fused)
+
+    def test_bounded_eviction(self):
+        backend = FusedBackend(capacity=3)
+        batched = BatchedUISClassifier(make_models(2))
+        for n in range(4, 12):
+            _f, xs, _y = make_task_data(2, n)
+            features, _, _ = make_task_data(2, 4)
+            backend.predict_proba(batched, features, xs)
+        stats = backend.plans.stats()
+        assert len(backend.plans) <= 3
+        assert stats["evictions"] == 8 - 3
+        # An evicted bucket recompiles on return, bit-identically.
+        _f, xs, _y = make_task_data(2, 4)
+        a = backend.predict_proba(batched, features, xs)
+        b = ReferenceBackend().predict_proba(batched, features, xs)
+        assert np.array_equal(a, b)
+
+    def test_cache_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(0)
+
+    def test_unsupported_program_falls_back_bit_exact(self):
+        class ClipModel(Module):
+            """Minimal duck-typed stacked model whose loss graph runs
+            through clip — an op the compiler refuses to differentiate."""
+
+            def __init__(self):
+                super().__init__()
+                rng = np.random.default_rng(0)
+                self.weight = Parameter(rng.normal(size=(WIDTH, 1)))
+
+            def forward(self, features, xs, conversion=None):
+                logits = Tensor._wrap(xs) @ self.weight
+                k, n = logits.shape[0], logits.shape[1]
+                return logits.reshape(k, n).clip(-4.0, 4.0)
+
+        features, xs, ys = make_task_data(3, 5, seed=9)
+        backend = FusedBackend()
+        fused = backend.loss_backward(ClipModel(), None, features, xs, ys,
+                                      None)
+        assert backend.fallbacks == 1
+        assert backend.plans.stats()["unsupported"] == 1
+        ref = ReferenceBackend().loss_backward(ClipModel(), None, features,
+                                               xs, ys, None)
+        assert np.array_equal(fused, ref)
+        # The failed trace is cached: the second call falls back without
+        # re-attempting compilation.
+        backend.loss_backward(ClipModel(), None, features, xs, ys, None)
+        stats = backend.plans.stats()
+        assert backend.fallbacks == 2
+        assert stats["unsupported"] == 1
+        assert stats["hits"] == 1
+
+
+# -- satellite: thread safety ------------------------------------------
+
+class TestThreadSafety:
+    def test_get_backend_resolves_once_under_races(self, monkeypatch):
+        previous = compile_mod._CURRENT[0]
+        try:
+            compile_mod._CURRENT[0] = None
+            monkeypatch.setenv("REPRO_NN_BACKEND", "fused")
+            barrier = threading.Barrier(8)
+            seen = []
+
+            def worker():
+                barrier.wait()
+                seen.append(get_backend())
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(seen) == 8
+            assert len({id(backend) for backend in seen}) == 1
+            assert seen[0].name == "fused"
+        finally:
+            compile_mod._CURRENT[0] = previous
+
+    def test_concurrent_same_bucket_adapts_stay_bit_exact(self):
+        """Shard workers adapt the same shape bucket concurrently; the
+        shared plan must serialize replays without cross-talk."""
+        seeds = list(range(6))
+        ref = {seed: adapt_under(ReferenceBackend(), seed=seed)
+               for seed in seeds}
+        backend = FusedBackend()
+        previous = get_backend()
+        set_backend(backend)
+        results, errors = {}, []
+        try:
+            def worker(seed):
+                try:
+                    results[seed] = adapt_under(backend, seed=seed)
+                except Exception as exc:  # pragma: no cover - debug aid
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(seed,))
+                       for seed in seeds]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            set_backend(previous)
+        assert not errors
+        assert backend.plans.stats()["entries"] == 2
+        for seed in seeds:
+            assert_bit_identical(ref[seed], results[seed])
+
+
+# -- satellite: allocation regression ----------------------------------
+
+class TestAllocations:
+    def test_reference_backend_reuses_pooled_moments(self):
+        pool = moment_pool()
+        before = pool.stats()
+        backend = ReferenceBackend()
+        batched = BatchedUISClassifier(make_models(3, seed=21))
+        features, xs, ys = make_task_data(3, 5, seed=21)
+        for _ in range(3):
+            backend.local_adapt(batched, None, features, xs, ys, None,
+                                steps=1, lr=0.05, optimizer_kind="adam")
+        after = pool.stats()
+        assert after["misses"] - before["misses"] <= 1
+        assert after["hits"] - before["hits"] >= 2
+
+    def test_fused_adapt_steady_state_allocation_budget(self):
+        """Steady-state fused replay must allocate no more than the
+        parameter write-back copies plus the per-call loss-weight array —
+        the plan's workspaces are all preallocated."""
+        backend = FusedBackend()
+        batched = BatchedUISClassifier(make_models(4, seed=31))
+        features, xs, ys = make_task_data(4, 6, seed=31)
+        pos_weight = batched_pos_weight(ys)
+
+        def run():
+            backend.local_adapt(batched, None, features, xs, ys, pos_weight,
+                                steps=2, lr=0.05, optimizer_kind="adam")
+
+        run()  # trace + compile
+        run()  # first replay
+        assert backend.fallbacks == 0
+        assert backend.replays == 2
+        param_bytes = int(sum(p.data.nbytes for p in batched.parameters()))
+        # write-back copies + np.where weights + interpreter slack
+        budget = param_bytes + ys.nbytes + 8192
+        tracemalloc.start()
+        try:
+            run()  # warm the replay path under the tracer
+            tracemalloc.reset_peak()
+            base = tracemalloc.get_traced_memory()[0]
+            run()
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak - base <= budget, (peak - base, budget)
+
+
+# -- backend registry API ----------------------------------------------
+
+class TestRegistry:
+    def test_available_backends(self):
+        assert available_backends() == ("fused", "reference")
+
+    def test_set_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown nn backend"):
+            set_backend("turbo")
+
+    def test_backend_scope_restores(self):
+        outer = get_backend()
+        with backend_scope("fused") as installed:
+            assert isinstance(installed, FusedBackend)
+            assert get_backend() is installed
+        assert get_backend() is outer
+
+    def test_set_backend_accepts_instance(self):
+        previous = get_backend()
+        instance = FusedBackend(capacity=7)
+        try:
+            assert set_backend(instance) is instance
+            assert get_backend() is instance
+            assert instance.plans.capacity == 7
+        finally:
+            set_backend(previous)
