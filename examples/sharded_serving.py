@@ -10,7 +10,10 @@ Demonstrates the sharding tier (``repro.shard``):
    submit labels (admission-controlled) and ``flush_all`` runs every
    worker's fused adaptation batch concurrently;
 4. a model-version broadcast rolls a re-pretrained phi through the pool
-   worker by worker — live sessions keep serving throughout.
+   worker by worker — live sessions keep serving throughout;
+5. observability (``repro.obs``): the client stages run inside captured
+   spans, ``gateway.metrics()`` merges every worker's registry into one
+   fleet view, and the run ends with a per-stage latency breakdown.
 
 Run:  python examples/sharded_serving.py
 """
@@ -20,6 +23,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.bench import subspace_region
 from repro.core import LTE, LTEConfig, UISMode
 from repro.core.meta_training import MetaHyperParams
@@ -79,42 +83,48 @@ def main():
     ]
 
     with ShardGateway(lte, n_workers=N_WORKERS,
-                      max_pending_per_worker=64) as gateway:
+                      max_pending_per_worker=64) as gateway, \
+            obs.capture() as events:
         print("\nGateway up: {} workers, model version {}".format(
             gateway.n_workers, gateway.model_version))
 
         sids = []
-        for oracle in oracles:
-            sid = gateway.open_session(variant="meta_star",
-                                       subspaces=subspaces)
-            for subspace, tuples in gateway.initial_tuples(sid).items():
-                try:
-                    gateway.submit_labels(
-                        sid, subspace,
-                        oracle.label_subspace(subspace, tuples))
-                except Overloaded:
-                    # Backpressure: drain the pool, then resubmit.
-                    gateway.flush_all()
-                    gateway.submit_labels(
-                        sid, subspace,
-                        oracle.label_subspace(subspace, tuples))
-            sids.append(sid)
+        with obs.span("example.label_wave", users=N_USERS):
+            for oracle in oracles:
+                sid = gateway.open_session(variant="meta_star",
+                                           subspaces=subspaces)
+                for subspace, tuples in \
+                        gateway.initial_tuples(sid).items():
+                    try:
+                        gateway.submit_labels(
+                            sid, subspace,
+                            oracle.label_subspace(subspace, tuples))
+                    except Overloaded:
+                        # Backpressure: drain the pool, then resubmit.
+                        gateway.flush_all()
+                        gateway.submit_labels(
+                            sid, subspace,
+                            oracle.label_subspace(subspace, tuples))
+                sids.append(sid)
         print("  {} sessions routed across {} workers".format(
             len(sids), gateway.n_workers))
 
         start = time.perf_counter()
-        adapted = gateway.flush_all()     # all workers adapt in parallel
+        with obs.span("example.flush_all"):
+            adapted = gateway.flush_all()   # workers adapt in parallel
         print("  flush_all adapted {} (session, subspace) tasks "
               "in {:.2f}s".format(adapted, time.perf_counter() - start))
 
         eval_rows = table.sample_rows(2000, seed=1)
-        predictions = gateway.predict_many(sids, eval_rows)
+        with obs.span("example.predict_many", rows=len(eval_rows)):
+            predictions = gateway.predict_many(sids, eval_rows)
         f1s = [f1_score(oracle.ground_truth(eval_rows), predictions[sid])
                for sid, oracle in zip(sids, oracles)]
         print("  mean F1 across users: {:.3f}".format(float(np.mean(f1s))))
 
         print("\nRolling model broadcast (new phi, worker by worker)...")
-        new_version = gateway.publish_model(retrain_phi(lte))
+        with obs.span("example.model_broadcast"):
+            new_version = gateway.publish_model(retrain_phi(lte))
         print("  pool now serves model {}".format(new_version))
         after = gateway.predict_many(sids, eval_rows)
         unchanged = all(np.array_equal(after[sid], predictions[sid])
@@ -124,6 +134,16 @@ def main():
         print("Pool stats: {}".format({
             "sessions": gateway.stats()["sessions"],
             "alive_workers": gateway.stats()["alive_workers"]}))
+
+        # One merged registry for the whole fleet: every worker ships
+        # its metric snapshot over the same pipe RPC the serving
+        # traffic uses, and the fixed histogram bucket bounds make the
+        # merge a deterministic element-wise add.
+        fleet = gateway.metrics()
+
+    print("\nPer-stage latency breakdown (client spans + fleet metrics):")
+    print(obs.format_summary(
+        obs.summarize_events(events, fleet["merged"])))
 
 
 if __name__ == "__main__":

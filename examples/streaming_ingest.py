@@ -16,7 +16,11 @@ Demonstrates the appendable chunk store and the freshness machinery
    flags the subspaces whose fitted scaler range was escaped;
 5. ``refresh_drifted`` rebuilds those subspaces' offline artifacts and
    re-pretrains them; already-open sessions keep their adapted state
-   (replace, never mutate), new sessions pick up the fresh fit.
+   (replace, never mutate), new sessions pick up the fresh fit;
+6. observability (``repro.obs``): the whole run executes inside a span
+   capture, and the end of the run prints a per-stage latency
+   breakdown — client-side stage spans plus the manager's own latency
+   histograms, append commit timings and cache hit ratios.
 
 For the multi-process tier the same story runs through
 ``ShardGateway.refresh_model(drifted)`` — every worker catches up on
@@ -32,6 +36,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.bench.workloads import convex_oracles
 from repro.core import LTE, LTEConfig
 from repro.core.meta_training import MetaHyperParams
@@ -67,23 +72,31 @@ def main():
     manager = SessionManager(lte)
     oracles = convex_oracles(lte, subspaces, 3, psi_choices=(12, 10),
                              seed=5)
+    # Capture spans for the rest of the run: client-side stage spans
+    # below plus the manager's own (serve.manager.adapt / store_scan).
+    capture = obs.capture()
+    events = capture.__enter__()
     sids = []
-    for oracle in oracles:
-        sid = manager.open_session(variant="meta_star",
-                                   subspaces=subspaces)
-        for subspace, tuples in manager.initial_tuples(sid).items():
-            manager.submit_labels(sid, subspace,
-                                  oracle.label_subspace(subspace, tuples))
-        sids.append(sid)
-    manager.flush()
-    manager.predict_many_store(sids, store)
+    with obs.span("example.adapt_wave", sessions=3):
+        for oracle in oracles:
+            sid = manager.open_session(variant="meta_star",
+                                       subspaces=subspaces)
+            for subspace, tuples in manager.initial_tuples(sid).items():
+                manager.submit_labels(
+                    sid, subspace,
+                    oracle.label_subspace(subspace, tuples))
+            sids.append(sid)
+        manager.flush()
+        manager.predict_many_store(sids, store)
     print("  {} sessions adapted and watermarked at version {}".format(
         len(sids), store.store_version))
 
     print("\nAppending {:,} rows to the live store...".format(APPEND_ROWS))
     start = time.perf_counter()
-    store.append_blocks([make_car(APPEND_ROWS, seed=11).data])
-    fresh = manager.predict_many_store(sids, store)
+    with obs.span("example.append", rows=APPEND_ROWS):
+        store.append_blocks([make_car(APPEND_ROWS, seed=11).data])
+    with obs.span("example.fresh_predict"):
+        fresh = manager.predict_many_store(sids, store)
     elapsed = time.perf_counter() - start
     scan = dict(manager.last_store_scan)
     print("  label-to-fresh-prediction in {:.0f} ms: {} of {} possible "
@@ -105,14 +118,16 @@ def main():
     drifting = make_car(APPEND_ROWS, seed=13).data
     cols = list(subspaces[0].columns)
     drifting[:, cols] = drifting[:, cols] * 4.0 + 100.0
-    store.append_blocks([drifting])
+    with obs.span("example.append", rows=APPEND_ROWS, distribution="ood"):
+        store.append_blocks([drifting])
     monitor.observe(store)
     drifted = monitor.drifted()
     print("  monitor (zone maps only) flags: {}".format(
         [tuple(s.names) for s in drifted]))
 
     start = time.perf_counter()
-    lte.refresh_drifted(store, monitor, train=True)
+    with obs.span("example.drift_refresh"):
+        lte.refresh_drifted(store, monitor, train=True)
     print("  refreshed + re-pretrained in {:.1f}s; live sessions kept "
           "their adapted state".format(time.perf_counter() - start))
 
@@ -130,6 +145,14 @@ def main():
     print("  old sessions serve unchanged; new session adapted under "
           "the refreshed artifacts (store version {})".format(
               store.store_version))
+
+    capture.__exit__(None, None, None)
+    # The manager owns its registry; append/freshness metrics live in
+    # the process default registry — aggregate() merges every live one.
+    print("\nPer-stage latency breakdown (client spans + process "
+          "metrics):")
+    print(obs.format_summary(obs.summarize_events(events,
+                                                  obs.aggregate())))
 
 
 if __name__ == "__main__":

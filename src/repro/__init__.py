@@ -34,6 +34,13 @@ Packages
     memory-mapped from disk) with per-chunk zone maps, and a scan
     planner that prunes whole chunks a region predicate provably cannot
     touch — out-of-core pretraining and serving at chunk-bounded memory.
+``repro.obs``
+    Observability: process-wide metrics registries (counters, gauges,
+    deterministically mergeable fixed-bucket histograms), a lightweight
+    span tracer, and exporters (Prometheus text, JSONL, a summarize
+    CLI).  Numerics-neutral and near-zero cost when ``REPRO_OBS=off``;
+    shard workers ship snapshots to the gateway for one merged fleet
+    view.
 """
 
 from .core import LTE, LTEConfig

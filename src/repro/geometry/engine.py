@@ -325,13 +325,37 @@ class HullPackCache:
     calls.
     """
 
-    def __init__(self, capacity=128):
+    def __init__(self, capacity=128, metrics=None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
         self._entries = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        # Hit/miss counts live in a repro.obs registry (the owner may
+        # share its own, e.g. the serving manager) under
+        # ``geometry.pack_cache.*``; the ``hits`` / ``misses``
+        # attributes and ``stats`` read through to it.
+        if metrics is None:
+            from ..obs import MetricsRegistry
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._hits = metrics.counter("geometry.pack_cache.hits")
+        self._misses = metrics.counter("geometry.pack_cache.misses")
+
+    @property
+    def hits(self):
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value):
+        self._hits.set(value)
+
+    @property
+    def misses(self):
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value):
+        self._misses.set(value)
 
     def __len__(self):
         return len(self._entries)
@@ -342,10 +366,10 @@ class HullPackCache:
         key = tuple(map(id, hulls))
         entry = self._entries.get(key)
         if entry is not None:
-            self.hits += 1
+            self._hits.inc()
             self._entries.move_to_end(key)
             return entry
-        self.misses += 1
+        self._misses.inc()
         pack = PackedHulls(hulls)
         self._entries[key] = pack
         while len(self._entries) > self.capacity:

@@ -77,17 +77,50 @@ class Arena:
 
 
 class MomentPool:
-    """Bounded LRU pool of optimizer state buffers per shape signature."""
+    """Bounded LRU pool of optimizer state buffers per shape signature.
 
-    def __init__(self, capacity=32):
+    Lease counters live in a per-instance ``repro.obs`` registry under
+    ``nn.compile.moment_pool.*``; the ``hits`` / ``misses`` /
+    ``evictions`` attributes and :meth:`stats` read through to it.
+    """
+
+    def __init__(self, capacity=32, metrics=None):
         if capacity < 1:
             raise ValueError("pool capacity must be >= 1")
         self.capacity = int(capacity)
         self._entries = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        if metrics is None:
+            from ...obs import MetricsRegistry
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._hits = metrics.counter("nn.compile.moment_pool.hits")
+        self._misses = metrics.counter("nn.compile.moment_pool.misses")
+        self._evictions = metrics.counter("nn.compile.moment_pool.evictions")
+
+    @property
+    def hits(self):
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value):
+        self._hits.set(value)
+
+    @property
+    def misses(self):
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value):
+        self._misses.set(value)
+
+    @property
+    def evictions(self):
+        return self._evictions.value
+
+    @evictions.setter
+    def evictions(self, value):
+        self._evictions.set(value)
 
     @contextlib.contextmanager
     def lease(self, shapes, n_sets):
@@ -103,18 +136,18 @@ class MomentPool:
         with self._lock:
             entry = self._entries.pop(key, None)
             if entry is None:
-                self.misses += 1
+                self._misses.inc()
                 entry = {
                     "lock": threading.Lock(),
                     "sets": [[np.empty(shape) for shape in shapes]
                              for _ in range(n_sets)],
                 }
             else:
-                self.hits += 1
+                self._hits.inc()
             self._entries[key] = entry
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self.evictions += 1
+                self._evictions.inc()
         with entry["lock"]:
             yield entry["sets"]
 

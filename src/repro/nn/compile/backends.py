@@ -147,10 +147,30 @@ class FusedBackend(Backend):
     name = "fused"
 
     def __init__(self, capacity=64):
-        self.plans = PlanCache(capacity)
+        from ...obs import MetricsRegistry
+        # One registry shared with the plan cache, so a single
+        # ``backend.metrics.snapshot()`` covers plans + replay counters.
+        self.metrics = MetricsRegistry()
+        self.plans = PlanCache(capacity, metrics=self.metrics)
         self.reference = ReferenceBackend()
-        self.replays = 0
-        self.fallbacks = 0
+        self._replays = self.metrics.counter("nn.compile.backend.replays")
+        self._fallbacks = self.metrics.counter("nn.compile.backend.fallbacks")
+
+    @property
+    def replays(self):
+        return self._replays.value
+
+    @replays.setter
+    def replays(self, value):
+        self._replays.set(value)
+
+    @property
+    def fallbacks(self):
+        return self._fallbacks.value
+
+    @fallbacks.setter
+    def fallbacks(self, value):
+        self._fallbacks.set(value)
 
     # -- the three hot paths -------------------------------------------
     def local_adapt(self, batched, conversion, features, xs, ys, pos_weight,
@@ -166,7 +186,7 @@ class FusedBackend(Backend):
             batched, conversion, None, features, xs, ys, pos_weight,
             optimizer="adam" if optimizer_kind == "adam" else "sgd"))
         if plan is PlanCache.UNSUPPORTED:
-            self.fallbacks += 1
+            self._fallbacks.inc()
             self.reference.local_adapt(
                 batched, conversion, features, xs, ys, pos_weight,
                 steps=steps, lr=lr, optimizer_kind=optimizer_kind)
@@ -179,7 +199,7 @@ class FusedBackend(Backend):
             plan.bind([param.data for _name, param in params], inputs)
             plan.run_adapt(int(steps), float(lr))
             self._write_back(plan, params, write_params=True)
-        self.replays += 1
+        self._replays.inc()
 
     def loss_backward(self, batched, conversion, features, xs, ys,
                       pos_weight):
@@ -198,7 +218,7 @@ class FusedBackend(Backend):
         plan = self.plans.get_or_build(key, lambda: self._build_loss_plan(
             batched, conv_param, conv_input, features, xs, ys, pos_weight))
         if plan is PlanCache.UNSUPPORTED:
-            self.fallbacks += 1
+            self._fallbacks.inc()
             return self.reference.loss_backward(
                 batched, conversion, features, xs, ys, pos_weight)
         weights = _loss_weights(ys, pos_weight)
@@ -212,7 +232,7 @@ class FusedBackend(Backend):
             plan.run_once()
             self._write_back(plan, params, write_params=False)
             losses = plan.outputs["task_losses"].copy()
-        self.replays += 1
+        self._replays.inc()
         return losses
 
     def predict_proba(self, batched, features, xs, conversion=None):
@@ -227,7 +247,7 @@ class FusedBackend(Backend):
         plan = self.plans.get_or_build(key, lambda: self._build_predict_plan(
             batched, conv_input, features, xs))
         if plan is PlanCache.UNSUPPORTED:
-            self.fallbacks += 1
+            self._fallbacks.inc()
             return self.reference.predict_proba(batched, features, xs,
                                                 conversion=conv_input)
         inputs = [features, xs]
@@ -237,7 +257,7 @@ class FusedBackend(Backend):
             plan.bind([param.data for _name, param in params], inputs)
             plan.run_once()
             proba = plan.outputs["proba"].copy()
-        self.replays += 1
+        self._replays.inc()
         return proba
 
     # -- plan construction ---------------------------------------------

@@ -21,21 +21,71 @@ _MISSING = object()
 
 
 class PlanCache:
-    """Thread-safe LRU mapping of shape-bucket keys to compiled plans."""
+    """Thread-safe LRU mapping of shape-bucket keys to compiled plans.
+
+    Counters live in a per-instance ``repro.obs`` registry under
+    ``nn.compile.plan_cache.*`` (the ``hits`` / ``misses`` /
+    ``evictions`` / ``unsupported`` attributes and :meth:`stats` read
+    through to it); an ``arena_bytes`` gauge tracks the replay-buffer
+    footprint of the resident plans.
+    """
 
     #: Sentinel cached for keys whose program cannot be compiled.
     UNSUPPORTED = object()
 
-    def __init__(self, capacity=64):
+    def __init__(self, capacity=64, metrics=None):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = int(capacity)
         self._entries = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.unsupported = 0
+        if metrics is None:
+            from ...obs import MetricsRegistry
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._hits = metrics.counter("nn.compile.plan_cache.hits")
+        self._misses = metrics.counter("nn.compile.plan_cache.misses")
+        self._evictions = metrics.counter("nn.compile.plan_cache.evictions")
+        self._unsupported = \
+            metrics.counter("nn.compile.plan_cache.unsupported")
+        self._arena_bytes = metrics.gauge("nn.compile.plan_cache.arena_bytes")
+
+    @property
+    def hits(self):
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value):
+        self._hits.set(value)
+
+    @property
+    def misses(self):
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value):
+        self._misses.set(value)
+
+    @property
+    def evictions(self):
+        return self._evictions.value
+
+    @evictions.setter
+    def evictions(self, value):
+        self._evictions.set(value)
+
+    @property
+    def unsupported(self):
+        return self._unsupported.value
+
+    @unsupported.setter
+    def unsupported(self, value):
+        self._unsupported.set(value)
+
+    @staticmethod
+    def _entry_bytes(entry):
+        arena = getattr(entry, "arena", None)
+        return getattr(arena, "nbytes", 0) if arena is not None else 0
 
     def get_or_build(self, key, build):
         """The cached plan for ``key``, compiling via ``build()`` on miss.
@@ -49,23 +99,26 @@ class PlanCache:
             entry = self._entries.pop(key, _MISSING)
             if entry is not _MISSING:
                 self._entries[key] = entry
-                self.hits += 1
+                self._hits.inc()
                 return entry
-            self.misses += 1
+            self._misses.inc()
         try:
             entry = build()
         except TraceError:
             entry = PlanCache.UNSUPPORTED
         with self._lock:
             if entry is PlanCache.UNSUPPORTED:
-                self.unsupported += 1
+                self._unsupported.inc()
             current = self._entries.pop(key, _MISSING)
             if current is not _MISSING:
                 entry = current
+            else:
+                self._arena_bytes.inc(self._entry_bytes(entry))
             self._entries[key] = entry
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+                _, evicted = self._entries.popitem(last=False)
+                self._evictions.inc()
+                self._arena_bytes.dec(self._entry_bytes(evicted))
         return entry
 
     def __len__(self):
@@ -82,8 +135,10 @@ class PlanCache:
                     "capacity": self.capacity,
                     "hits": self.hits, "misses": self.misses,
                     "evictions": self.evictions,
-                    "unsupported": self.unsupported}
+                    "unsupported": self.unsupported,
+                    "arena_bytes": self._arena_bytes.value}
 
     def clear(self):
         with self._lock:
             self._entries.clear()
+            self._arena_bytes.set(0)

@@ -16,6 +16,7 @@ import hashlib
 import numpy as np
 
 from ..core.memory import LRUStore
+from ..obs import MetricsRegistry
 
 __all__ = ["PredictionCache", "rows_digest"]
 
@@ -37,16 +38,38 @@ class PredictionCache:
     an in-place write raises instead of silently poisoning every later
     cache hit (the manager still copies on the way out of public APIs
     where callers legitimately expect a writable array).
+
+    Hit/miss counts live in a per-instance ``repro.obs`` registry under
+    ``serve.cache.prediction.*``; the ``stats`` property and the
+    ``hits`` / ``misses`` attributes read through to it.
     """
 
-    def __init__(self, capacity=1024):
+    def __init__(self, capacity=1024, metrics=None):
         self._store = LRUStore(capacity)
-        self.hits = 0
-        self.misses = 0
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        self._hits = self.metrics.counter("serve.cache.prediction.hits")
+        self._misses = self.metrics.counter("serve.cache.prediction.misses")
+        self._entries = self.metrics.gauge("serve.cache.prediction.entries")
 
     @property
     def capacity(self):
         return self._store.capacity
+
+    @property
+    def hits(self):
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value):
+        self._hits.set(value)
+
+    @property
+    def misses(self):
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value):
+        self._misses.set(value)
 
     @staticmethod
     def key(session_id, subspace, model_version, digest):
@@ -61,19 +84,22 @@ class PredictionCache:
     def get(self, key):
         value = self._store.get(key)
         if value is None:
-            self.misses += 1
+            self._misses.inc()
         else:
-            self.hits += 1
+            self._hits.inc()
         return value
 
     def put(self, key, value):
         frozen = np.array(value, copy=True)
         frozen.flags.writeable = False
         self._store.put(key, frozen)
+        self._entries.set(len(self._store))
 
     def invalidate_session(self, session_id):
         """Drop every entry belonging to one session (e.g. on close)."""
-        return self._store.evict(lambda key: key[0] == session_id)
+        dropped = self._store.evict(lambda key: key[0] == session_id)
+        self._entries.set(len(self._store))
+        return dropped
 
     def __len__(self):
         return len(self._store)

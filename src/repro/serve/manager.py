@@ -30,6 +30,7 @@ from ..core.framework import ExplorationSession, LTE
 from ..core.memory import LRUStore
 from ..core.optimizer import FewShotOptimizer, HullRegistry
 from ..geometry.engine import HullPackCache
+from ..obs import MetricsRegistry, span
 from .batched import predict_adapted_batch, run_adapt_requests
 from .cache import PredictionCache, rows_digest
 
@@ -39,13 +40,15 @@ __all__ = ["SessionManager"]
 class _Pending:
     """One queued label batch: initial submission or an extra round."""
 
-    __slots__ = ("session_id", "subspace", "labels", "tuples")
+    __slots__ = ("session_id", "subspace", "labels", "tuples", "enqueued")
 
-    def __init__(self, session_id, subspace, labels, tuples=None):
+    def __init__(self, session_id, subspace, labels, tuples=None,
+                 enqueued=None):
         self.session_id = session_id
         self.subspace = subspace
         self.labels = labels
         self.tuples = tuples   # None -> initial labels; else add_labels round
+        self.enqueued = enqueued   # perf_counter at submit (None if obs off)
 
 
 class SessionManager:
@@ -76,7 +79,12 @@ class SessionManager:
         if not isinstance(lte, LTE):
             raise TypeError("SessionManager needs a fitted LTE system")
         self.lte = lte
-        self.cache = PredictionCache(cache_entries)
+        # One registry for the whole serving engine: the prediction and
+        # hull-pack caches record into it too, so a single
+        # ``manager.metrics.snapshot()`` covers the full request path.
+        # See repro.obs.registry for the metric name catalogue.
+        self.metrics = MetricsRegistry()
+        self.cache = PredictionCache(cache_entries, metrics=self.metrics)
         # Preprocessed representations of prediction inputs are
         # session-independent — every session scoring the same rows in a
         # subspace shares one encode pass.
@@ -92,7 +100,8 @@ class SessionManager:
         # LRU bounds the subset entries.  Restored managers rebuild
         # packs from the checkpoint's serialized facet form without
         # ever re-running Qhull.
-        self._region_packs = HullPackCache(capacity=128)
+        self._region_packs = HullPackCache(capacity=128,
+                                           metrics=self.metrics)
         self._sessions = {}
         # Freshness watermarks per (session_id, store uid): the store
         # version each session last answered at plus that answer, so
@@ -110,8 +119,47 @@ class SessionManager:
         self._session_errors = {}
         self._next_id = 0
         self._lock = threading.RLock()
-        self.adapt_batches = 0   # flush calls that trained something
-        self.adapted_total = 0   # (session, subspace) adaptations served
+        metrics = self.metrics
+        self._obs_on = metrics.enabled
+        self._adapt_batches = metrics.counter("serve.manager.adapt.batches")
+        self._adapted_total = metrics.counter("serve.manager.adapt.total")
+        self._encode_hits = metrics.counter("serve.manager.encode_cache.hits")
+        self._encode_misses = \
+            metrics.counter("serve.manager.encode_cache.misses")
+        self._sessions_live = metrics.gauge("serve.manager.sessions.live")
+        self._queue_depth = metrics.gauge("serve.manager.queue.depth")
+        self._queue_wait = \
+            metrics.histogram("serve.manager.queue.wait.seconds")
+        self._t_flush = metrics.histogram("serve.manager.flush.seconds")
+        self._t_build = metrics.histogram("serve.manager.adapt.build.seconds")
+        self._t_train = metrics.histogram("serve.manager.adapt.train.seconds")
+        self._t_install = \
+            metrics.histogram("serve.manager.adapt.install.seconds")
+        self._t_encode = \
+            metrics.histogram("serve.manager.predict.encode.seconds")
+        self._t_forward = \
+            metrics.histogram("serve.manager.predict.forward.seconds")
+        self._t_refine = \
+            metrics.histogram("serve.manager.predict.refine.seconds")
+        self._t_predict = metrics.histogram("serve.manager.predict.seconds")
+
+    @property
+    def adapt_batches(self):
+        """Flush calls that trained something (registry-backed)."""
+        return self._adapt_batches.value
+
+    @adapt_batches.setter
+    def adapt_batches(self, value):
+        self._adapt_batches.set(value)
+
+    @property
+    def adapted_total(self):
+        """(session, subspace) adaptations served (registry-backed)."""
+        return self._adapted_total.value
+
+    @adapted_total.setter
+    def adapted_total(self, value):
+        self._adapted_total.set(value)
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -124,6 +172,8 @@ class SessionManager:
             session_id = self._next_id
             self._next_id += 1
             self._sessions[session_id] = session
+            self.metrics.counter("serve.manager.sessions.opened").inc()
+            self._sessions_live.set(len(self._sessions))
             return session_id
 
     def close_session(self, session_id):
@@ -138,6 +188,9 @@ class SessionManager:
                                  for key, mark in self._store_marks.items()
                                  if key[0] != session_id}
             self.cache.invalidate_session(session_id)
+            self.metrics.counter("serve.manager.sessions.closed").inc()
+            self._sessions_live.set(len(self._sessions))
+            self._queue_depth.set(len(self._queue))
             # Un-pin the session's compiled geometry (hulls shared with
             # live sessions just recompile on the next refine).
             hulls = [hull
@@ -191,7 +244,10 @@ class SessionManager:
             session = self.session(session_id)
             labels = session._subsessions[subspace] \
                 .validate_initial_labels(labels)
-            self._queue.append(_Pending(session_id, subspace, labels))
+            self._queue.append(_Pending(
+                session_id, subspace, labels,
+                enqueued=time.perf_counter() if self._obs_on else None))
+            self._queue_depth.set(len(self._queue))
 
     def submit_all_labels(self, session_id, labels_by_subspace):
         for subspace, labels in labels_by_subspace.items():
@@ -207,7 +263,10 @@ class SessionManager:
                 raise RuntimeError("submit the initial labels first")
             tuples, labels = session._subsessions[subspace] \
                 .validate_extra_labels(tuples, labels)
-            self._queue.append(_Pending(session_id, subspace, labels, tuples))
+            self._queue.append(_Pending(
+                session_id, subspace, labels, tuples,
+                enqueued=time.perf_counter() if self._obs_on else None))
+            self._queue_depth.set(len(self._queue))
 
     def pending(self, session_id=None):
         """Queued (session, subspace) pairs, optionally for one session."""
@@ -243,6 +302,10 @@ class SessionManager:
         with self._lock:
             work = list(self._queue)
             self._queue.clear()
+            self._queue_depth.set(0)
+            if not work:
+                return 0
+            flush_start = time.perf_counter() if self._obs_on else None
             done = 0
             errors = []
             # Items targeting the *same* (session, subspace) must run in
@@ -264,14 +327,18 @@ class SessionManager:
                     # queue for a retry.
                     self._queue.extend(wave)
                     self._queue.extend(rest)
+                    self._queue_depth.set(len(self._queue))
                     raise
                 work = rest
+            if flush_start is not None:
+                self._t_flush.observe(time.perf_counter() - flush_start)
             if errors and raise_errors:
                 raise errors[0]
             return done
 
     def _record_error(self, session_id, subspace, error):
         """Attribute one flush error to its owning session."""
+        self.metrics.counter("serve.manager.errors.recorded").inc()
         self._session_errors.setdefault(session_id, []).append({
             "subspace": list(subspace.names),
             "error": "{}: {}".format(type(error).__name__, error),
@@ -279,6 +346,10 @@ class SessionManager:
 
     def _run_wave(self, wave, errors):
         start = time.perf_counter()
+        if self._obs_on:
+            for item in wave:
+                if item.enqueued is not None:
+                    self._queue_wait.observe(start - item.enqueued)
         requests, installs = [], []
         for item in wave:
             subsession = \
@@ -298,8 +369,13 @@ class SessionManager:
             requests.append(request)
         if not requests:
             return 0
-        results = run_adapt_requests(requests)
-        share = (time.perf_counter() - start) / len(results)
+        built = time.perf_counter()
+        self._t_build.observe(built - start)
+        with span("serve.manager.adapt", requests=len(requests)):
+            results = run_adapt_requests(requests)
+        trained = time.perf_counter()
+        self._t_train.observe(trained - built)
+        share = (trained - start) / len(results)
         for (subsession, extras), request, (adapted, optimizer) in zip(
                 installs, requests, results):
             if extras is None:
@@ -307,8 +383,9 @@ class SessionManager:
                                               share)
             else:
                 subsession.install_readaptation(adapted, extras)
-        self.adapt_batches += 1
-        self.adapted_total += len(results)
+        self._t_install.observe(time.perf_counter() - trained)
+        self._adapt_batches.inc()
+        self._adapted_total.inc(len(results))
         return len(results)
 
     def poll(self, session_id, advance=True):
@@ -363,9 +440,15 @@ class SessionManager:
         key = (tuple(subspace.names), state.artifact_token, digest)
         artifacts = self._encoded_rows.get(key)
         if artifacts is None:
+            self._encode_misses.inc()
+            t0 = time.perf_counter() if self._obs_on else None
             scaled = state.to_scaled(points)
             artifacts = (scaled, state.encode_scaled(scaled))
+            if t0 is not None:
+                self._t_encode.observe(time.perf_counter() - t0)
             self._encoded_rows.put(key, artifacts)
+        else:
+            self._encode_hits.inc()
         return (digest,) + artifacts
 
     def _predict_group(self, subspace, points, per_session, digest=None):
@@ -387,6 +470,7 @@ class SessionManager:
         """
         if digest is None:
             digest = rows_digest(points)
+        t_group = time.perf_counter() if self._obs_on else None
         by_generation = {}
         for session_id, subsession in per_session.items():
             token = subsession.state.artifact_token
@@ -410,6 +494,7 @@ class SessionManager:
                 else:
                     out[session_id] = cached
             for group in misses.values():
+                t0 = time.perf_counter() if self._obs_on else None
                 if len(group) == 1:
                     session_id, subsession, key = group[0]
                     stacked = subsession.adapted.predict(encoded)[None, :]
@@ -417,6 +502,11 @@ class SessionManager:
                     stacked = predict_adapted_batch(
                         [subsession.adapted for _, subsession, _ in group],
                         encoded)
+                if t0 is not None:
+                    t1 = time.perf_counter()
+                    self._t_forward.observe(t1 - t0)
+                else:
+                    t1 = None
                 # Geometric refinement runs all (points x hulls x
                 # sessions) tests as one packed-engine call; the
                 # manager-level pack cache persists the compiled
@@ -425,10 +515,14 @@ class SessionManager:
                 refined = FewShotOptimizer.refine_batch(
                     [subsession.optimizer for _, subsession, _ in group],
                     scaled, stacked, pack_cache=self._region_packs)
+                if t1 is not None:
+                    self._t_refine.observe(time.perf_counter() - t1)
                 for (session_id, subsession, key), predictions in zip(
                         group, refined):
                     self.cache.put(key, predictions)
                     out[session_id] = predictions
+        if t_group is not None:
+            self._t_predict.observe(time.perf_counter() - t_group)
         return out
 
     def predict_subspace(self, session_id, subspace, points):
@@ -457,7 +551,7 @@ class SessionManager:
         """
         if hasattr(rows, "iter_chunks"):
             return self.predict_many_store(session_ids, rows)
-        with self._lock:
+        with self._lock, span("serve.manager.predict_many"):
             self.flush(raise_errors=False)
             rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
             sessions = {sid: self.session(sid) for sid in session_ids}
@@ -511,7 +605,7 @@ class SessionManager:
         """
         from ..store.scan import session_chunk_keep
 
-        with self._lock:
+        with self._lock, span("serve.manager.store_scan") as scan_span:
             self.flush(raise_errors=False)
             sessions = {sid: self.session(sid) for sid in session_ids}
             groups = {}
@@ -592,6 +686,19 @@ class SessionManager:
                     for sid in sessions)),
                 "sessions_served_from_mark": int(served_from_mark),
             }
+            scan = self.last_store_scan
+            scan_span.annotate(chunk_evals=scan["chunk_evals"],
+                               watermark_skipped=scan["watermark_skipped"],
+                               pruned_skipped=scan["pruned_skipped"])
+            self.metrics.counter(
+                "serve.manager.store_scan.chunk_evals") \
+                .inc(scan["chunk_evals"])
+            self.metrics.counter(
+                "serve.manager.store_scan.watermark_skipped") \
+                .inc(scan["watermark_skipped"])
+            self.metrics.counter(
+                "serve.manager.store_scan.pruned_skipped") \
+                .inc(scan["pruned_skipped"])
             if uid is not None:
                 closed = store.closed_chunks
                 closed_rows = int(store.offsets[closed])
@@ -677,6 +784,12 @@ class SessionManager:
                 "next_id": int(self._next_id),
                 "adapt_batches": int(self.adapt_batches),
                 "adapted_total": int(self.adapted_total),
+                # Full metrics state (counters + histogram buckets), so a
+                # restored manager's telemetry continues where it left
+                # off.  Snapshot entries are plain string-keyed dicts of
+                # ints/floats/None — exactly what the persist codec
+                # accepts.
+                "metrics": self.metrics.snapshot(),
                 "sessions": sessions,
                 "queue": queue,
                 "session_errors": [
@@ -711,11 +824,17 @@ class SessionManager:
         continues as if the process had never died.
         """
         manager = cls(lte, cache_entries=snapshot["cache"]["capacity"])
+        # Older snapshots predate the metrics key; they restore with
+        # fresh telemetry.  load_state_dict / the explicit counter
+        # assignments below re-assert the persisted scalar counters on
+        # top, keeping both paths consistent.
+        manager.metrics.load(snapshot.get("metrics") or {})
         hulls = HullRegistry.restore(snapshot["hulls"]).hulls
         for entry in snapshot["sessions"]:
             manager._sessions[int(entry["id"])] = \
                 ExplorationSession.from_state_dict(lte, entry["state"],
                                                    hulls=hulls)
+        manager._sessions_live.set(len(manager._sessions))
         manager._next_id = int(snapshot["next_id"])
         manager.adapt_batches = int(snapshot["adapt_batches"])
         manager.adapted_total = int(snapshot["adapted_total"])
@@ -741,6 +860,7 @@ class SessionManager:
             labels = np.asarray(item["labels"]).astype(np.int64)
             manager._queue.append(
                 _Pending(session_id, by_key[key], labels, tuples))
+        manager._queue_depth.set(len(manager._queue))
         for entry in snapshot.get("session_errors", []):
             manager._session_errors[int(entry["session_id"])] = [
                 {"subspace": list(e["subspace"]), "error": str(e["error"])}
@@ -767,7 +887,12 @@ class SessionManager:
     # ------------------------------------------------------------------
     @property
     def stats(self):
-        """Serving counters: sessions, queue depth, batches, cache."""
+        """Serving counters: sessions, queue depth, batches, cache.
+
+        Compatibility shim over the ``repro.obs`` registry — the same
+        numbers (plus latency histograms) are in
+        ``self.metrics.snapshot()`` under ``serve.manager.*``.
+        """
         with self._lock:
             return {
                 "sessions": self.n_sessions,

@@ -48,6 +48,7 @@ import time
 import numpy as np
 
 from ..core.framework import LTE
+from ..obs import MetricsRegistry, merge_snapshots
 from ..persist import model_fingerprint, save_pretrained
 from . import errors as _errors
 from .errors import Overloaded, ShardError, WorkerCrashed
@@ -61,7 +62,8 @@ class _Worker:
     """Gateway-side handle of one worker process."""
 
     __slots__ = ("index", "process", "conn", "alive", "pending",
-                 "local_by_global", "next_request")
+                 "local_by_global", "next_request", "post_times",
+                 "last_rpc_seconds", "last_rpc_method", "sessions_lost")
 
     def __init__(self, index, process, conn):
         self.index = index
@@ -71,6 +73,10 @@ class _Worker:
         self.pending = 0            # queued label batches (backpressure)
         self.local_by_global = {}   # global session id -> worker-local id
         self.next_request = 0
+        self.post_times = {}        # in-flight request id -> send time
+        self.last_rpc_seconds = None   # latency of the last finished RPC
+        self.last_rpc_method = None
+        self.sessions_lost = 0      # sessions owned at time of death
 
 
 class ShardGateway:
@@ -121,6 +127,20 @@ class ShardGateway:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.lte = lte
+        # Gateway-side telemetry (shard.gateway.* — see
+        # repro.obs.registry); worker-side metrics are fetched and
+        # merged by :meth:`metrics`.
+        self.gateway_metrics = MetricsRegistry()
+        self._t_rpc = self.gateway_metrics.histogram(
+            "shard.gateway.rpc.seconds")
+        self._rpc_calls = self.gateway_metrics.counter(
+            "shard.gateway.rpc.calls")
+        self._workers_alive = self.gateway_metrics.gauge(
+            "shard.gateway.workers.alive")
+        self._workers_crashed = self.gateway_metrics.counter(
+            "shard.gateway.workers.crashed")
+        self._pending_depth = self.gateway_metrics.gauge(
+            "shard.gateway.pending.depth")
         self.max_pending_per_worker = int(max_pending_per_worker)
         self.max_sessions_per_worker = max_sessions_per_worker
         self.rpc_timeout = rpc_timeout
@@ -155,6 +175,7 @@ class ShardGateway:
                     "worker {} warm-started to model {} instead of the "
                     "published {}".format(worker.index, reply["model"],
                                           self.model_version))
+        self._workers_alive.set(len(self._workers))
 
     # ------------------------------------------------------------------
     # RPC plumbing
@@ -167,6 +188,7 @@ class ShardGateway:
                 "or restore a manager checkpoint)".format(worker.index))
         request_id = worker.next_request
         worker.next_request += 1
+        worker.post_times[request_id] = time.monotonic()
         try:
             worker.conn.send((request_id, method, kwargs))
         except (BrokenPipeError, OSError):
@@ -215,6 +237,15 @@ class ShardGateway:
                     "worker {} answered request {} while {} was "
                     "expected; the RPC stream is corrupt".format(
                         worker.index, reply_id, request_id))
+            posted_at = worker.post_times.pop(reply_id, None)
+            if posted_at is not None:
+                # Post-to-reply latency; for pipelined fan-outs this
+                # includes time the request queued behind the worker's
+                # earlier work, which is the latency a caller observes.
+                worker.last_rpc_seconds = time.monotonic() - posted_at
+                worker.last_rpc_method = method
+                self._t_rpc.observe(worker.last_rpc_seconds)
+                self._rpc_calls.inc()
             if status == "error":
                 raise self._rebuild_exception(worker, method, payload)
             return payload
@@ -239,10 +270,22 @@ class ShardGateway:
             return
         worker.alive = False
         worker.pending = 0
+        worker.post_times.clear()
+        worker.sessions_lost = len(worker.local_by_global)
+        if not self._closed:   # graceful shutdown is not a crash
+            self._workers_crashed.inc()
+        self._workers_alive.set(
+            sum(1 for w in self._workers if w.alive))
+        self._note_pending()
         try:
             worker.conn.close()
         except OSError:
             pass
+
+    def _note_pending(self):
+        """Refresh the pool-wide pending-batch depth gauge."""
+        self._pending_depth.set(
+            sum(w.pending for w in self._workers if w.alive))
 
     def _alive(self):
         """Refresh liveness (a worker can die between calls) and return
@@ -305,6 +348,7 @@ class ShardGateway:
                             {"session_id":
                              worker.local_by_global[session_id]})
         worker.pending = int(queued)
+        self._note_pending()
         del worker.local_by_global[session_id]
         del self._sessions[session_id]
 
@@ -353,6 +397,7 @@ class ShardGateway:
                              "subspace": subspace,
                              "labels": np.asarray(labels)})
         worker.pending = int(queued)
+        self._note_pending()
 
     def submit_all_labels(self, session_id, labels_by_subspace):
         for subspace, labels in labels_by_subspace.items():
@@ -369,6 +414,7 @@ class ShardGateway:
                              "tuples": np.asarray(tuples),
                              "labels": np.asarray(labels)})
         worker.pending = int(queued)
+        self._note_pending()
 
     # ------------------------------------------------------------------
     # Batched adaptation and prediction
@@ -388,6 +434,7 @@ class ShardGateway:
             reply = self._wait(worker, request_id, "flush")
             worker.pending = int(reply["queued"])
             done += int(reply["done"])
+        self._note_pending()
         return done
 
     # The single-process manager calls this ``flush``; keep the alias so
@@ -409,6 +456,7 @@ class ShardGateway:
                              worker.local_by_global[session_id],
                              "advance": advance})
         worker.pending = int(result.pop("worker_queued"))
+        self._note_pending()
         return result
 
     def predict(self, session_id, rows):
@@ -566,18 +614,80 @@ class ShardGateway:
     # Drain / shutdown / stats
     # ------------------------------------------------------------------
     def stats(self):
-        """Pool-level counters plus each worker's manager stats."""
+        """Pool-level counters plus each worker's manager stats.
+
+        ``workers`` carries one entry per worker **in pool order,
+        including dead ones**: an alive worker's entry is its manager
+        stats dict extended with its gateway-observed ``queue_depth``
+        (pending label batches), ``last_rpc_seconds`` /
+        ``last_rpc_method`` and ``alive: True``; a dead worker reports
+        a tombstone (``alive: False``, ``model: None``,
+        ``sessions_lost``) instead of being silently omitted.
+        """
         self._require_open()
         posted = [(w, self._post(w, "stats", {})) for w in self._alive()]
-        workers = [self._wait(w, rid, "stats") for w, rid in posted]
+        replies = {w.index: self._wait(w, rid, "stats")
+                   for w, rid in posted}
+        workers = []
+        for worker in self._workers:
+            entry = replies.get(worker.index)
+            if entry is None:
+                entry = {"worker": worker.index, "alive": False,
+                         "model": None,
+                         "sessions_lost": worker.sessions_lost}
+            else:
+                entry = dict(entry)
+                entry["alive"] = True
+            entry["queue_depth"] = worker.pending
+            entry["last_rpc_seconds"] = worker.last_rpc_seconds
+            entry["last_rpc_method"] = worker.last_rpc_method
+            workers.append(entry)
         return {
             "sessions": self.n_sessions,
             "workers": workers,
-            "alive_workers": len(workers),
+            "alive_workers": len(replies),
             "model": self.model_version,
             "pending": {w.index: w.pending for w in self._workers
                         if w.alive},
         }
+
+    def metrics(self):
+        """One merged view of the whole fleet's telemetry.
+
+        Fans a pipelined ``metrics`` RPC out to every live worker; each
+        returns its process-wide :func:`repro.obs.aggregate` snapshot
+        (manager latency histograms, cache hit counters, compile-plan
+        stats).  Returns::
+
+            {"workers": {worker_index: snapshot | tombstone},
+             "gateway": <gateway-side snapshot>,
+             "merged":  <element-wise merge of all of the above>}
+
+        Because every histogram shares the same fixed bucket bounds,
+        the merge is a deterministic element-wise add — independent of
+        worker reply order (workers merge in index order) and identical
+        to merging on any other process.  Dead workers appear as
+        ``{"dead": True, "sessions_lost": n}`` tombstones and
+        contribute nothing to ``merged``.
+        """
+        self._require_open()
+        posted = [(w, self._post(w, "metrics", {}))
+                  for w in self._alive()]
+        replies = {w.index: self._wait(w, rid, "metrics")
+                   for w, rid in posted}
+        workers = {}
+        for worker in self._workers:
+            if worker.index in replies:
+                workers[worker.index] = replies[worker.index]
+            else:
+                workers[worker.index] = {
+                    "dead": True, "sessions_lost": worker.sessions_lost}
+        gateway_snap = self.gateway_metrics.snapshot()
+        merged = merge_snapshots(
+            [replies[index] for index in sorted(replies)]
+            + [gateway_snap])
+        return {"workers": workers, "gateway": gateway_snap,
+                "merged": merged}
 
     def drain(self):
         """Flush every worker until no queued work remains anywhere."""

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 
+from ..obs import aggregate as _aggregate_metrics
 from ..persist import load_pretrained, model_fingerprint
 from ..serve import SessionManager
 
@@ -133,6 +134,13 @@ def worker_main(conn, lte, checkpoint_dir, worker_index):
             return model_fingerprint(lte)
         if method == "stats":
             return worker_stats()
+        if method == "metrics":
+            # The worker's whole-process metric state: the manager's
+            # registry, any compile-backend registries, and the default
+            # registry — one plain snapshot the gateway merges with the
+            # other workers' (bucket bounds are fixed process-wide, so
+            # the merge is a deterministic element-wise add).
+            return _aggregate_metrics()
         if method == "_debug":
             # Test hooks only: fault injection the gateway tests use to
             # exercise crash and error-attribution paths for real.

@@ -53,12 +53,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 import uuid
 import warnings
 
 import numpy as np
 
 from ..data.schema import Attribute, Table
+from ..obs import default_registry
 
 __all__ = ["DEFAULT_CHUNK_ROWS", "ZoneMaps", "ChunkStore",
            "StoreCorruptedError", "StoreReadOnlyError"]
@@ -610,6 +612,7 @@ class ChunkStore:
                 "store {!r} was opened read-only (format v1 layout); "
                 "rewrite it with save() to a new directory to get an "
                 "appendable v2 store".format(self.name))
+        t0 = time.perf_counter()
         width = self.n_attributes
         zone = self.zone_maps
         tail_index = None
@@ -669,6 +672,11 @@ class ChunkStore:
             raise
         if disk:
             self._remove_stale_files()
+        metrics = default_registry()
+        metrics.counter("store.ingest.commits").inc()
+        metrics.counter("store.ingest.append.rows").inc(appended)
+        metrics.histogram("store.ingest.append.seconds") \
+            .observe(time.perf_counter() - t0)
         return appended
 
     def refresh(self):

@@ -34,9 +34,12 @@ Typical lifecycle (see ``examples/streaming_ingest.py``)::
 
 from __future__ import annotations
 
+import time
 import warnings
 
 import numpy as np
+
+from ..obs import default_registry
 
 __all__ = ["FreshnessMonitor"]
 
@@ -102,6 +105,7 @@ class FreshnessMonitor:
         self._observed_closed = store.closed_chunks
         if start >= zone.n_chunks:
             return {}
+        t0 = time.perf_counter()
         fresh = {}
         for key, (columns, lo, hi) in self._ranges.items():
             zmin = zone.mins[start:, columns]
@@ -120,6 +124,12 @@ class FreshnessMonitor:
             fresh[key] = score
             if score > self._scores.get(key, 0.0):
                 self._scores[key] = score
+        metrics = default_registry()
+        metrics.histogram("store.freshness.observe.seconds") \
+            .observe(time.perf_counter() - t0)
+        drift = metrics.histogram("store.freshness.drift_score")
+        for score in fresh.values():
+            drift.observe(score)
         return fresh
 
     def report(self):

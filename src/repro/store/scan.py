@@ -35,6 +35,7 @@ from ..geometry.convex_hull import Hull
 from ..geometry.engine import PackedHulls
 from ..geometry.regions import (BoxRegion, ConjunctiveRegion, ScaledRegion,
                                 UnionRegion)
+from ..obs import default_registry
 
 __all__ = ["ChunkScan", "region_bounds", "scan_region",
            "optimizer_chunk_keep", "session_chunk_keep"]
@@ -184,6 +185,16 @@ class ChunkScan:
                 keep &= overlap.all(axis=2).any(axis=1)
         self._keep = keep
         self._prunable = groups is not None
+        # Cumulative pruning telemetry (process default registry, under
+        # store.scan.*) — the per-plan breakdown stays in `stats`.
+        metrics = default_registry()
+        metrics.counter("store.scan.plans").inc()
+        scanned = int(keep.sum())
+        metrics.counter("store.scan.chunks.scanned").inc(scanned)
+        metrics.counter("store.scan.chunks.watermark_skipped") \
+            .inc(self.first_chunk)
+        metrics.counter("store.scan.chunks.pruned") \
+            .inc(len(keep) - scanned - self.first_chunk)
 
     # ------------------------------------------------------------------
     def chunk_mask(self):

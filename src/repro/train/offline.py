@@ -24,8 +24,11 @@ phi, bit for bit (``tests/persist``).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..obs import default_registry
 from .engine import (MetaBatchSlot, run_meta_batch_fused,
                      run_pretrain_epoch_pooled,
                      run_pretrain_epoch_sequential, encode_task_sets)
@@ -232,22 +235,36 @@ class OfflineRun:
         return self
 
     def step_epoch(self):
-        """Advance every unfinished schedule by one epoch of its phase."""
+        """Advance every unfinished schedule by one epoch of its phase.
+
+        Phase wall-clock lands in the process default ``repro.obs``
+        registry (``train.offline.{pretrain,meta}_epoch.seconds``) —
+        timing only, never on the training numerics.
+        """
+        metrics = default_registry()
         pretraining = [s for s in self.schedules if s.phase == "pretrain"]
         meta = [s for s in self.schedules if s.phase == "meta"]
         for group in _grouped(pretraining,
                               TrainerSchedule.pretrain_group_key):
+            t0 = time.perf_counter()
             if self.engine == "batched" and len(group) > 1:
                 run_pretrain_epoch_pooled(group)
             else:
                 for schedule in group:
                     run_pretrain_epoch_sequential(schedule)
+            metrics.histogram("train.offline.pretrain_epoch.seconds") \
+                .observe(time.perf_counter() - t0)
+            metrics.counter("train.offline.epochs.pretrain").inc()
             for schedule in group:
                 schedule.pretrain_done += 1
                 self._emit(schedule, "pretrain",
                            schedule.pretrain_done - 1, None)
         for group in _grouped(meta, TrainerSchedule.meta_group_key):
+            t0 = time.perf_counter()
             losses = _run_meta_epoch(group, self.engine)
+            metrics.histogram("train.offline.meta_epoch.seconds") \
+                .observe(time.perf_counter() - t0)
+            metrics.counter("train.offline.epochs.meta").inc()
             for schedule, epoch_losses in zip(group, losses):
                 mean = float(np.mean(epoch_losses)) if epoch_losses else 0.0
                 schedule.trainer.history.append(mean)

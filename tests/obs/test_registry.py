@@ -1,0 +1,229 @@
+"""Registry unit tests: primitives, merge determinism, exporters, CLI."""
+
+import json
+import random
+
+import pytest
+
+from repro import obs
+from repro.obs.__main__ import main as obs_main
+
+pytestmark = pytest.mark.obs
+
+
+def _filled_registry(seed, n_obs=200):
+    rng = random.Random(seed)
+    registry = obs.MetricsRegistry(enabled=True)
+    counter = registry.counter("serve.cache.prediction.hits")
+    hist = registry.histogram("serve.manager.flush.seconds")
+    gauge = registry.gauge("serve.manager.queue.depth")
+    for _ in range(n_obs):
+        counter.inc(rng.randrange(3))
+        hist.observe(rng.uniform(1e-6, 10.0))
+    gauge.set(rng.randrange(100))
+    return registry
+
+
+class TestPrimitives:
+    def test_counter_gauge_histogram_roundtrip(self):
+        registry = obs.MetricsRegistry(enabled=True)
+        registry.counter("a.b.c").inc(5)
+        registry.gauge("a.b.depth").set(3)
+        hist = registry.histogram("a.b.seconds")
+        for value in (0.001, 0.02, 0.5):
+            hist.observe(value)
+        snap = registry.snapshot()
+        assert snap["a.b.c"] == {"kind": "counter", "value": 5}
+        assert snap["a.b.depth"]["value"] == 3
+        assert snap["a.b.seconds"]["count"] == 3
+        assert snap["a.b.seconds"]["min"] == pytest.approx(0.001)
+        assert snap["a.b.seconds"]["max"] == pytest.approx(0.5)
+        restored = obs.MetricsRegistry(enabled=True)
+        restored.load(snap)
+        assert restored.snapshot() == snap
+
+    def test_get_or_create_returns_same_object(self):
+        registry = obs.MetricsRegistry(enabled=True)
+        assert registry.counter("x.y.z") is registry.counter("x.y.z")
+
+    def test_kind_conflict_rejected(self):
+        registry = obs.MetricsRegistry(enabled=True)
+        registry.counter("x.y.z")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x.y.z")
+
+    def test_name_scheme_enforced(self):
+        registry = obs.MetricsRegistry(enabled=True)
+        for bad in ("", "Upper.case", "has space", ".leading", "trailing.",
+                    "double..dot"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+    def test_histogram_percentile_is_bucket_bound(self):
+        hist = obs.Histogram()
+        for value in (0.001,) * 99 + (5.0,):
+            hist.observe(value)
+        p50 = hist.percentile(0.50)
+        assert p50 in obs.BUCKET_BOUNDS and p50 >= 0.001
+        assert hist.percentile(0.999) >= 5.0 or \
+            hist.percentile(0.999) in obs.BUCKET_BOUNDS
+
+    def test_counter_set_supports_restore(self):
+        counter = obs.Counter()
+        counter.inc(7)
+        counter.set(3)
+        assert counter.value == 3
+
+
+def _assert_same_merge(left, right):
+    """Merged snapshots must agree exactly on every integer field
+    (bucket counts, counter values, min/max); histogram ``sum`` is a
+    float accumulator kept for mean estimation only, so it may differ
+    in the last ulp across merge orders."""
+    assert sorted(left) == sorted(right)
+    for name, entry in left.items():
+        other = dict(right[name])
+        entry = dict(entry)
+        if entry["kind"] == "histogram":
+            assert entry.pop("sum") == pytest.approx(other.pop("sum"))
+        assert entry == other, name
+
+
+class TestMergeDeterminism:
+    def test_merge_is_order_independent(self):
+        snaps = [_filled_registry(seed).snapshot() for seed in range(6)]
+        forward = obs.merge_snapshots(snaps)
+        _assert_same_merge(obs.merge_snapshots(list(reversed(snaps))),
+                           forward)
+        shuffled = list(snaps)
+        for round_seed in range(5):
+            random.Random(round_seed).shuffle(shuffled)
+            _assert_same_merge(obs.merge_snapshots(shuffled), forward)
+
+    def test_merge_equals_single_stream(self):
+        """Splitting one observation stream across registries and
+        merging yields the same histogram as observing it in one."""
+        rng = random.Random(7)
+        values = [rng.uniform(1e-6, 100.0) for _ in range(500)]
+        whole = obs.MetricsRegistry(enabled=True)
+        for value in values:
+            whole.histogram("a.b.seconds").observe(value)
+        parts = [obs.MetricsRegistry(enabled=True) for _ in range(4)]
+        for i, value in enumerate(values):
+            parts[i % 4].histogram("a.b.seconds").observe(value)
+        merged = obs.merge_snapshots([p.snapshot() for p in parts])
+        expected = whole.snapshot()["a.b.seconds"]
+        got = merged["a.b.seconds"]
+        assert got["counts"] == expected["counts"]
+        assert got["count"] == expected["count"]
+        assert got["min"] == expected["min"]
+        assert got["max"] == expected["max"]
+
+    def test_merged_percentiles_deterministic(self):
+        snaps = [_filled_registry(seed).snapshot() for seed in range(4)]
+        merged_a = obs.merge_snapshots(snaps)
+        merged_b = obs.merge_snapshots(snaps[2:] + snaps[:2])
+        hist_a, hist_b = obs.Histogram(), obs.Histogram()
+        hist_a.merge(merged_a["serve.manager.flush.seconds"])
+        hist_b.merge(merged_b["serve.manager.flush.seconds"])
+        for q in (0.5, 0.9, 0.99):
+            assert hist_a.percentile(q) == hist_b.percentile(q)
+
+    def test_bucket_bound_mismatch_rejected(self):
+        hist = obs.Histogram()
+        snap = obs.Histogram().snapshot()
+        snap["counts"] = snap["counts"][:-3]
+        with pytest.raises(ValueError, match="bucket"):
+            hist.merge(snap)
+
+
+class TestDisabledFastPath:
+    def test_disabled_registry_hands_out_shared_null(self):
+        with obs.enabled_scope(False):
+            registry = obs.MetricsRegistry()
+            assert registry.counter("a.b.c") is registry.histogram("d.e.f")
+            registry.counter("a.b.c").inc(10)
+            registry.histogram("d.e.f").observe(1.0)
+            assert registry.snapshot() == {}
+            assert registry.merge({"a.b.c": {"kind": "counter",
+                                             "value": 3}}).snapshot() == {}
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "off")
+        obs.configure(None)   # force re-resolution
+        try:
+            assert not obs.enabled()
+            monkeypatch.setenv("REPRO_OBS", "on")
+            obs.configure(None)
+            assert obs.enabled()
+        finally:
+            obs.configure(True)
+
+
+class TestExporters:
+    def test_prometheus_text(self):
+        snap = _filled_registry(3).snapshot()
+        text = obs.to_prometheus(snap)
+        assert "# TYPE repro_serve_cache_prediction_hits counter" in text
+        assert "# TYPE repro_serve_manager_flush_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_serve_manager_flush_seconds_count 200" in text
+        # Cumulative bucket counts end at the total count.
+        assert obs.to_prometheus(snap) == text   # deterministic render
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        records = [{"type": "span", "name": "a.b", "seconds": 0.5},
+                   {"type": "span", "name": "a.b", "seconds": 0.25}]
+        obs.write_jsonl(path, records)
+        assert obs.read_jsonl(path) == records
+
+    def test_summarize_tables(self):
+        events = [{"type": "span", "name": "serve.flush", "seconds": s}
+                  for s in (0.01, 0.02, 0.03)]
+        snap = {"serve.cache.prediction.hits":
+                {"kind": "counter", "value": 9},
+                "serve.cache.prediction.misses":
+                {"kind": "counter", "value": 1}}
+        summary = obs.summarize_events(events, snap)
+        assert summary["spans"][0]["name"] == "serve.flush"
+        assert summary["spans"][0]["count"] == 3
+        assert summary["ratios"] == [{"name": "serve.cache.prediction",
+                                      "hits": 9, "misses": 1,
+                                      "ratio": 0.9}]
+        text = obs.format_summary(summary)
+        assert "serve.flush" in text and "90.0%" in text
+
+    def test_cli_summarize_and_prom(self, tmp_path, capsys):
+        events_path = tmp_path / "capture.jsonl"
+        obs.write_jsonl(events_path, [
+            {"type": "span", "name": "stage.one", "seconds": 0.1},
+            {"name": "serve.cache.prediction.hits", "kind": "counter",
+             "value": 4},
+            {"name": "serve.cache.prediction.misses", "kind": "counter",
+             "value": 4},
+        ])
+        assert obs_main(["summarize", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stage.one" in out and "50.0%" in out
+        snap_path = tmp_path / "snap.jsonl"
+        snap = _filled_registry(1).snapshot()
+        obs.write_jsonl(snap_path, [dict(entry, name=name)
+                                    for name, entry in snap.items()])
+        assert obs_main(["prom", str(snap_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_serve_manager_flush_seconds histogram" in out
+
+    def test_snapshot_is_json_safe(self):
+        json.dumps(_filled_registry(5).snapshot())
+
+
+class TestAggregate:
+    def test_aggregate_merges_live_registries(self):
+        a = obs.MetricsRegistry(enabled=True)
+        b = obs.MetricsRegistry(enabled=True)
+        a.counter("x.y.z").inc(2)
+        b.counter("x.y.z").inc(3)
+        obs.default_registry().counter("x.y.z").inc(1)
+        merged = obs.aggregate()
+        assert merged["x.y.z"]["value"] >= 6

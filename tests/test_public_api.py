@@ -7,7 +7,7 @@ import pytest
 PACKAGES = ["repro", "repro.nn", "repro.ml", "repro.geometry", "repro.data",
             "repro.core", "repro.baselines", "repro.explore", "repro.bench",
             "repro.serve", "repro.persist", "repro.store", "repro.train",
-            "repro.shard"]
+            "repro.shard", "repro.obs"]
 
 
 @pytest.mark.parametrize("name", PACKAGES)
