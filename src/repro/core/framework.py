@@ -168,7 +168,8 @@ class LTE:
     # Offline phase
     # ------------------------------------------------------------------
     def fit_offline(self, table, subspaces=None, train=True, progress=None,
-                    engine=None, checkpoint=None):
+                    engine=None, checkpoint=None, workers=None,
+                    stream=None):
         """Run the full offline phase on an exploratory table.
 
         Parameters
@@ -193,8 +194,10 @@ class LTE:
             epochs interleaved round-robin, shape-compatible meta-tasks
             from *all* subspaces fused into shared stacked programs
             (:mod:`repro.train`); ``"sequential"`` runs the
-            task-at-a-time reference executor.  Both produce
-            bit-identical trainers.
+            task-at-a-time reference executor; ``"parallel"`` fans the
+            fused compute out across ``workers`` forked processes
+            (:mod:`repro.train.parallel`).  All produce bit-identical
+            trainers.
         checkpoint:
             Optional directory for epoch-granular resumable pretraining
             checkpoints: the run saves trainer weights, memories, RNG
@@ -202,7 +205,19 @@ class LTE:
             a later ``fit_offline`` call pointed at the same directory
             (same table, config and decomposition) resumes from the last
             completed epoch — converging to the identical phi bit for
-            bit.
+            bit.  Checkpoints resume interchangeably across engines and
+            worker counts.
+        workers:
+            Worker-process count for ``engine="parallel"`` (default:
+            ``REPRO_TRAIN_WORKERS``, else the core count).  Setting the
+            environment variable alone also selects the parallel engine
+            when ``engine`` is unspecified.
+        stream:
+            ``True`` (or a directory path) spills each subspace's
+            encoded meta-task set into an on-disk chunk store and
+            trains from it lazily, bounding peak offline memory by the
+            chunk size instead of the task count — bit-identical to the
+            in-memory path (:mod:`repro.train.stream`).
         """
         cfg = self.config
         self.table = table
@@ -220,7 +235,8 @@ class LTE:
         if train:
             from ..train.offline import run_offline_training
             run_offline_training(self, subspaces, engine=engine,
-                                 progress=progress, checkpoint=checkpoint)
+                                 progress=progress, checkpoint=checkpoint,
+                                 workers=workers, stream=stream)
         self.offline_seconds_ = time.perf_counter() - start
         return self
 

@@ -270,8 +270,10 @@ class MetaTrainer:
         engine:
             ``"batched"`` (default) fuses every meta-batch's local and
             global phase into one stacked autograd program;
-            ``"sequential"`` is the task-at-a-time reference executor.
-            The two are bit-identical (see the module docstring).
+            ``"sequential"`` is the task-at-a-time reference executor;
+            ``"parallel"`` fans the fused compute out across worker
+            processes (:mod:`repro.train.parallel`).  All three are
+            bit-identical (see the module docstring).
         """
         from ..train.engine import encode_task_sets
         from ..train.offline import OfflineRun, TrainerSchedule
@@ -284,7 +286,11 @@ class MetaTrainer:
             if kind == "meta" and progress is not None:
                 progress(epoch, mean_loss)
 
-        OfflineRun([schedule], engine=engine, on_epoch=on_epoch).run()
+        run = OfflineRun([schedule], engine=engine, on_epoch=on_epoch)
+        try:
+            run.run()
+        finally:
+            run.close()
         return self
 
     def pretrain_conversion(self):

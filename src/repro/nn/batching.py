@@ -40,7 +40,7 @@ from .tensor import Parameter, Tensor
 
 __all__ = ["BatchedUISClassifier", "fused_local_adapt", "stack_conversions",
            "load_flat_stack", "theta_r_grad_stack", "grad_stacks",
-           "stacked_predict"]
+           "copy_grad_stacks", "stacked_predict"]
 
 
 class BatchedUISClassifier(Module):
@@ -246,6 +246,22 @@ def grad_stacks(batched):
     would accumulate for task k.
     """
     return {name: param.grad for name, param in batched.named_parameters()}
+
+
+def copy_grad_stacks(stacks):
+    """Detached float64 copies of a :func:`grad_stacks` mapping.
+
+    Under the fused :mod:`repro.nn.compile` backend the gradient arrays
+    alias the plan's reusable workspace, so they are only valid until
+    the next program runs.  Take copies before holding them across
+    another forward/backward; values are preserved bit-for-bit, so the
+    deterministic reduction downstream is unaffected.  (Shipping stacks
+    over a process pipe also detaches them — pickling copies — but an
+    explicit copy keeps the lifetime obvious.)
+    """
+    return {name: None if grad is None
+            else np.array(grad, dtype=np.float64)
+            for name, grad in stacks.items()}
 
 
 def stacked_predict(batched, features, xs, conversion=None, threshold=0.5):

@@ -21,7 +21,8 @@ shared no-op singletons when ``REPRO_OBS=off``.
 from .registry import (BUCKET_BOUNDS, Counter, Gauge, Histogram,
                        MetricsRegistry, aggregate, configure,
                        default_registry, enabled, enabled_scope,
-                       merge_snapshots, reset_default_registry)
+                       merge_snapshots, reset_all_metrics,
+                       reset_default_registry)
 from .trace import JsonlSink, capture, get_sink, set_sink, span
 from .export import (format_summary, read_jsonl, summarize_events,
                      to_prometheus, write_jsonl)
@@ -29,7 +30,8 @@ from .export import (format_summary, read_jsonl, summarize_events,
 __all__ = [
     "BUCKET_BOUNDS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "aggregate", "configure", "default_registry", "enabled",
-    "enabled_scope", "merge_snapshots", "reset_default_registry",
+    "enabled_scope", "merge_snapshots", "reset_all_metrics",
+    "reset_default_registry",
     "JsonlSink", "capture", "get_sink", "set_sink", "span",
     "format_summary", "read_jsonl", "summarize_events", "to_prometheus",
     "write_jsonl",

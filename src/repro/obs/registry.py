@@ -66,6 +66,15 @@ name                                             kind        unit
 ``train.offline.meta_epoch.seconds``             histogram   seconds
 ``train.offline.epochs.pretrain``                counter     epochs
 ``train.offline.epochs.meta``                    counter     epochs
+``train.parallel.rpc.seconds``                   histogram   seconds
+``train.parallel.rpc.calls``                     counter     calls
+``train.parallel.workers.alive``                 gauge       workers
+``train.parallel.workers.crashed``               counter     workers
+``train.worker.busy``                            gauge       spans
+``train.worker.compute.seconds``                 histogram   seconds
+``train.worker.batches``                         counter     spans
+``train.reduce.latency``                         gauge       seconds
+``train.reduce.seconds``                         histogram   seconds
 ================================================ =========== ==========
 
 Design constraints (the no-interference guarantee):
@@ -104,6 +113,7 @@ __all__ = [
     "BUCKET_BOUNDS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "enabled", "configure", "enabled_scope", "default_registry",
     "aggregate", "merge_snapshots", "reset_default_registry",
+    "reset_all_metrics",
 ]
 
 #: Fixed log-scale histogram bucket upper bounds, shared by **every**
@@ -444,6 +454,20 @@ def default_registry():
 def reset_default_registry():
     """Drop the default registry's state (tests)."""
     _DEFAULT[0] = None
+
+
+def reset_all_metrics():
+    """Zero every metric of every live registry in this process.
+
+    The ``fork`` start method copies the parent's registries — counts
+    included — into the child, so a forked worker's :func:`aggregate`
+    would otherwise re-report activity that happened before the fork.
+    Workers call this once at startup; the parent's state is untouched
+    (the copies diverged at fork).
+    """
+    for registry in list(_REGISTRIES):
+        for metric in registry._metrics.values():
+            metric.__init__()
 
 
 def merge_snapshots(snapshots):

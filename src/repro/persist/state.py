@@ -259,7 +259,13 @@ def save_pretrain_run(path, lte, entries, meta=None):
     :meth:`repro.train.TrainerSchedule.state_dict`.  The per-subspace
     epoch cursors are mirrored into the manifest ``meta`` (under
     ``"epoch_cursor"``) so ``python -m repro.persist inspect`` shows
-    resume progress without decoding the arrays.  Returns the manifest.
+    resume progress without decoding the arrays.  The driver's ``meta``
+    additionally records the writing run's ``engine`` / ``workers`` /
+    ``nn_backend`` — provenance only: checkpoints are written at epoch
+    reduction barriers, where every engine (any worker count, any
+    backend) holds identical master state, so a run resumes
+    interchangeably under any of them (``tests/persist`` pins this).
+    Returns the manifest.
     """
     meta = dict(meta or {})
     meta["epoch_cursor"] = {

@@ -38,7 +38,6 @@ Scaling properties:
 
 from __future__ import annotations
 
-import builtins
 import multiprocessing
 import os
 import shutil
@@ -53,29 +52,21 @@ from ..persist import model_fingerprint, save_pretrained
 from . import errors as _errors
 from .errors import Overloaded, ShardError, WorkerCrashed
 from .routing import assign_worker
+from .rpc import PipeRpc, RpcLink
 from .worker import worker_main
 
 __all__ = ["ShardGateway"]
 
 
-class _Worker:
+class _Worker(RpcLink):
     """Gateway-side handle of one worker process."""
 
-    __slots__ = ("index", "process", "conn", "alive", "pending",
-                 "local_by_global", "next_request", "post_times",
-                 "last_rpc_seconds", "last_rpc_method", "sessions_lost")
+    __slots__ = ("pending", "local_by_global", "sessions_lost")
 
     def __init__(self, index, process, conn):
-        self.index = index
-        self.process = process
-        self.conn = conn
-        self.alive = True
+        super().__init__(index, process, conn)
         self.pending = 0            # queued label batches (backpressure)
         self.local_by_global = {}   # global session id -> worker-local id
-        self.next_request = 0
-        self.post_times = {}        # in-flight request id -> send time
-        self.last_rpc_seconds = None   # latency of the last finished RPC
-        self.last_rpc_method = None
         self.sessions_lost = 0      # sessions owned at time of death
 
 
@@ -144,6 +135,15 @@ class ShardGateway:
         self.max_pending_per_worker = int(max_pending_per_worker)
         self.max_sessions_per_worker = max_sessions_per_worker
         self.rpc_timeout = rpc_timeout
+        # Wire mechanics live in repro.shard.rpc; the gateway injects
+        # its typed error family, crash-loss wording and telemetry.
+        self._rpc = PipeRpc(
+            timeout=rpc_timeout, crashed_type=WorkerCrashed,
+            error_type=ShardError, error_modules=(_errors,),
+            dead_hint="; its sessions are lost (re-open them or restore "
+                      "a manager checkpoint)",
+            crash_hint="; its sessions are lost",
+            on_dead=self._on_worker_dead, on_reply=self._on_rpc_reply)
         self._owns_root = checkpoint_root is None
         self._root = checkpoint_root or tempfile.mkdtemp(
             prefix="repro-shard-")
@@ -182,105 +182,31 @@ class ShardGateway:
     # ------------------------------------------------------------------
     def _post(self, worker, method, kwargs):
         """Send one request without waiting (pipelined fan-out)."""
-        if not worker.alive:
-            raise WorkerCrashed(
-                "worker {} is dead; its sessions are lost (re-open them "
-                "or restore a manager checkpoint)".format(worker.index))
-        request_id = worker.next_request
-        worker.next_request += 1
-        worker.post_times[request_id] = time.monotonic()
-        try:
-            worker.conn.send((request_id, method, kwargs))
-        except (BrokenPipeError, OSError):
-            self._mark_dead(worker)
-            raise WorkerCrashed(
-                "worker {} died before accepting {!r}".format(
-                    worker.index, method))
-        return request_id
+        return self._rpc.post(worker, method, kwargs)
 
     def _wait(self, worker, request_id, method):
         """Await one reply; detect worker death promptly (never hang)."""
-        deadline = None if self.rpc_timeout is None \
-            else time.monotonic() + self.rpc_timeout
-        while True:
-            try:
-                if not worker.conn.poll(0.05):
-                    if not worker.process.is_alive() \
-                            and not worker.conn.poll(0.2):
-                        self._mark_dead(worker)
-                        raise WorkerCrashed(
-                            "worker {} died during {!r}; its sessions "
-                            "are lost".format(worker.index, method))
-                    if deadline is not None \
-                            and time.monotonic() > deadline:
-                        raise ShardError(
-                            "worker {} did not answer {!r} within "
-                            "{}s".format(worker.index, method,
-                                         self.rpc_timeout))
-                    continue
-                message = worker.conn.recv()
-            except (EOFError, OSError):
-                self._mark_dead(worker)
-                raise WorkerCrashed(
-                    "worker {} died during {!r}; its sessions are "
-                    "lost".format(worker.index, method))
-            reply_id, status, payload = message
-            if reply_id < request_id:
-                # Stale reply from a pipelined call whose wait was
-                # abandoned (e.g. another worker crashed first and the
-                # fan-out raised before collecting this one).  Workers
-                # answer strictly in order, so it is safe to drop.
-                continue
-            if reply_id > request_id:
-                self._mark_dead(worker)
-                raise ShardError(
-                    "worker {} answered request {} while {} was "
-                    "expected; the RPC stream is corrupt".format(
-                        worker.index, reply_id, request_id))
-            posted_at = worker.post_times.pop(reply_id, None)
-            if posted_at is not None:
-                # Post-to-reply latency; for pipelined fan-outs this
-                # includes time the request queued behind the worker's
-                # earlier work, which is the latency a caller observes.
-                worker.last_rpc_seconds = time.monotonic() - posted_at
-                worker.last_rpc_method = method
-                self._t_rpc.observe(worker.last_rpc_seconds)
-                self._rpc_calls.inc()
-            if status == "error":
-                raise self._rebuild_exception(worker, method, payload)
-            return payload
+        return self._rpc.wait(worker, request_id, method)
 
     def _call(self, worker, method, kwargs):
-        return self._wait(worker, self._post(worker, method, kwargs),
-                          method)
+        return self._rpc.call(worker, method, kwargs)
 
-    @staticmethod
-    def _rebuild_exception(worker, method, payload):
-        """Re-raise a worker-side exception under its original type."""
-        type_name, message = payload
-        exc_type = getattr(_errors, type_name, None) \
-            or getattr(builtins, type_name, None)
-        if isinstance(exc_type, type) and issubclass(exc_type, Exception):
-            return exc_type(message)
-        return ShardError("worker {} failed {!r}: {}: {}".format(
-            worker.index, method, type_name, message))
+    def _on_rpc_reply(self, worker, method, seconds):
+        self._t_rpc.observe(seconds)
+        self._rpc_calls.inc()
 
     def _mark_dead(self, worker):
-        if not worker.alive:
-            return
-        worker.alive = False
+        self._rpc.mark_dead(worker)
+
+    def _on_worker_dead(self, worker):
+        """Gateway bookkeeping when the RPC layer declares a worker dead."""
         worker.pending = 0
-        worker.post_times.clear()
         worker.sessions_lost = len(worker.local_by_global)
         if not self._closed:   # graceful shutdown is not a crash
             self._workers_crashed.inc()
         self._workers_alive.set(
             sum(1 for w in self._workers if w.alive))
         self._note_pending()
-        try:
-            worker.conn.close()
-        except OSError:
-            pass
 
     def _note_pending(self):
         """Refresh the pool-wide pending-batch depth gauge."""

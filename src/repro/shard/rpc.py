@@ -1,0 +1,232 @@
+"""Shared pipe-RPC machinery for master/worker process fleets.
+
+Both multi-process tiers — the sharded serving gateway
+(:mod:`repro.shard.gateway`) and the data-parallel pretraining engine
+(:mod:`repro.train.parallel`) — speak the same tiny message-passing
+protocol over duplex ``multiprocessing`` pipes:
+
+    request:  ``(request_id, method, kwargs)``
+    reply:    ``(request_id, "ok", result)`` or
+              ``(request_id, "error", (exception_type_name, message))``
+
+This module owns the wire mechanics both sides share:
+
+* :class:`RpcLink` — the master-side per-worker connection state
+  (request counter, in-flight post times, last-RPC latency bookkeeping);
+* :class:`PipeRpc` — pipelined ``post``/``wait``/``call`` with prompt
+  typed crash detection (a dead worker raises, never hangs), stale-reply
+  draining for abandoned pipelined fan-outs, reply-stream corruption
+  checks and worker-side exception rebuild under the original type;
+* :func:`serve_rpc` — the single-threaded worker-side dispatch loop
+  (errors become *replies*, ``shutdown`` drains and exits, pipe EOF
+  means the master went away).
+
+The callers differ only in policy, which is injected: the typed error
+family (``crashed_type`` / ``error_type`` / ``error_modules``), what the
+loss of a worker means for the caller (``dead_hint`` / ``crash_hint``
+message suffixes), and bookkeeping hooks (``on_dead`` fires exactly once
+per link death, ``on_reply`` observes per-RPC latency for metrics).
+"""
+
+from __future__ import annotations
+
+import builtins
+import time
+
+__all__ = ["RpcLink", "PipeRpc", "serve_rpc"]
+
+
+class RpcLink:
+    """Master-side state of one worker's pipe connection.
+
+    Subclass (adding ``__slots__``) to attach tier-specific bookkeeping;
+    the RPC layer touches only the slots declared here.
+    """
+
+    __slots__ = ("index", "process", "conn", "alive", "next_request",
+                 "post_times", "last_rpc_seconds", "last_rpc_method")
+
+    def __init__(self, index, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self.next_request = 0
+        self.post_times = {}        # in-flight request id -> send time
+        self.last_rpc_seconds = None   # latency of the last finished RPC
+        self.last_rpc_method = None
+
+
+class PipeRpc:
+    """Pipelined request/reply mechanics over a pool of :class:`RpcLink`.
+
+    Parameters
+    ----------
+    timeout:
+        Seconds to wait for a single reply before raising ``error_type``
+        (a *dead* worker is detected promptly regardless); ``None``
+        disables the timeout.
+    crashed_type / error_type:
+        Exception types raised for worker death and protocol-level
+        failures respectively.
+    error_modules:
+        Modules searched (before ``builtins``) when rebuilding a
+        worker-side exception under its original type name.
+    dead_hint / crash_hint:
+        Message suffixes appended when a request targets an
+        already-dead link and when a link dies mid-call — the caller
+        states what the loss means ("its sessions are lost", "resume
+        from the last checkpoint", ...).
+    on_dead:
+        Optional callback ``(link)`` fired exactly once when a link is
+        marked dead (before the raising call returns).
+    on_reply:
+        Optional callback ``(link, method, seconds)`` fired per
+        completed RPC with its post-to-reply latency.
+    """
+
+    def __init__(self, *, timeout=600.0, crashed_type=RuntimeError,
+                 error_type=RuntimeError, error_modules=(),
+                 dead_hint="", crash_hint="", on_dead=None, on_reply=None):
+        self.timeout = timeout
+        self.crashed_type = crashed_type
+        self.error_type = error_type
+        self.error_modules = tuple(error_modules)
+        self.dead_hint = dead_hint
+        self.crash_hint = crash_hint
+        self.on_dead = on_dead
+        self.on_reply = on_reply
+
+    # ------------------------------------------------------------------
+    def mark_dead(self, link):
+        """Mark a link dead (idempotent): bookkeeping hook + pipe close."""
+        if not link.alive:
+            return
+        link.alive = False
+        link.post_times.clear()
+        if self.on_dead is not None:
+            self.on_dead(link)
+        try:
+            link.conn.close()
+        except OSError:
+            pass
+
+    def post(self, link, method, kwargs):
+        """Send one request without waiting (pipelined fan-out)."""
+        if not link.alive:
+            raise self.crashed_type(
+                "worker {} is dead{}".format(link.index, self.dead_hint))
+        request_id = link.next_request
+        link.next_request += 1
+        link.post_times[request_id] = time.monotonic()
+        try:
+            link.conn.send((request_id, method, kwargs))
+        except (BrokenPipeError, OSError):
+            self.mark_dead(link)
+            raise self.crashed_type(
+                "worker {} died before accepting {!r}".format(
+                    link.index, method))
+        return request_id
+
+    def wait(self, link, request_id, method):
+        """Await one reply; detect worker death promptly (never hang)."""
+        deadline = None if self.timeout is None \
+            else time.monotonic() + self.timeout
+        while True:
+            try:
+                if not link.conn.poll(0.05):
+                    if not link.process.is_alive() \
+                            and not link.conn.poll(0.2):
+                        self.mark_dead(link)
+                        raise self.crashed_type(
+                            "worker {} died during {!r}{}".format(
+                                link.index, method, self.crash_hint))
+                    if deadline is not None \
+                            and time.monotonic() > deadline:
+                        raise self.error_type(
+                            "worker {} did not answer {!r} within "
+                            "{}s".format(link.index, method, self.timeout))
+                    continue
+                message = link.conn.recv()
+            except (EOFError, OSError):
+                self.mark_dead(link)
+                raise self.crashed_type(
+                    "worker {} died during {!r}{}".format(
+                        link.index, method, self.crash_hint))
+            reply_id, status, payload = message
+            if reply_id < request_id:
+                # Stale reply from a pipelined call whose wait was
+                # abandoned (e.g. another worker crashed first and the
+                # fan-out raised before collecting this one).  Workers
+                # answer strictly in order, so it is safe to drop.
+                continue
+            if reply_id > request_id:
+                self.mark_dead(link)
+                raise self.error_type(
+                    "worker {} answered request {} while {} was "
+                    "expected; the RPC stream is corrupt".format(
+                        link.index, reply_id, request_id))
+            posted_at = link.post_times.pop(reply_id, None)
+            if posted_at is not None:
+                # Post-to-reply latency; for pipelined fan-outs this
+                # includes time the request queued behind the worker's
+                # earlier work, which is the latency a caller observes.
+                link.last_rpc_seconds = time.monotonic() - posted_at
+                link.last_rpc_method = method
+                if self.on_reply is not None:
+                    self.on_reply(link, method, link.last_rpc_seconds)
+            if status == "error":
+                raise self.rebuild_exception(link, method, payload)
+            return payload
+
+    def call(self, link, method, kwargs):
+        return self.wait(link, self.post(link, method, kwargs), method)
+
+    def rebuild_exception(self, link, method, payload):
+        """Re-raise a worker-side exception under its original type."""
+        type_name, message = payload
+        exc_type = None
+        for module in self.error_modules:
+            exc_type = getattr(module, type_name, None)
+            if exc_type is not None:
+                break
+        exc_type = exc_type or getattr(builtins, type_name, None)
+        if isinstance(exc_type, type) and issubclass(exc_type, Exception):
+            return exc_type(message)
+        return self.error_type("worker {} failed {!r}: {}: {}".format(
+            link.index, method, type_name, message))
+
+
+def serve_rpc(conn, handle, on_shutdown=None):
+    """Run a worker-side RPC dispatch loop until ``shutdown`` or EOF.
+
+    ``handle(method, kwargs)`` serves every regular request; exceptions
+    it raises are serialized back as typed error replies, never crashes.
+    ``on_shutdown(kwargs)`` (optional) runs on the ``shutdown`` request
+    and its return value is the final reply payload; the loop then
+    exits.  Pipe EOF/closure means the master went away — the loop ends
+    quietly.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break   # master went away; nothing left to serve
+        request_id, method, kwargs = message
+        if method == "shutdown":
+            result = None
+            if on_shutdown is not None:
+                try:
+                    result = on_shutdown(kwargs or {})
+                except Exception:
+                    result = None
+            conn.send((request_id, "ok", result))
+            break
+        try:
+            result = handle(method, kwargs or {})
+        except Exception as error:
+            conn.send((request_id, "error",
+                       (type(error).__name__, str(error))))
+        else:
+            conn.send((request_id, "ok", result))
+    conn.close()

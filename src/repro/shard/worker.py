@@ -30,8 +30,10 @@ from __future__ import annotations
 import os
 
 from ..obs import aggregate as _aggregate_metrics
+from ..obs import reset_all_metrics
 from ..persist import load_pretrained, model_fingerprint
 from ..serve import SessionManager
+from .rpc import serve_rpc
 
 __all__ = ["worker_main"]
 
@@ -53,6 +55,9 @@ def worker_main(conn, lte, checkpoint_dir, worker_index):
     worker_index:
         This worker's index in the gateway's pool (for diagnostics).
     """
+    # Forked registries carry the gateway process's counts; zero them so
+    # this worker's ``metrics`` aggregate reports only its own activity.
+    reset_all_metrics()
     if checkpoint_dir is not None:
         load_pretrained(checkpoint_dir, lte)
     manager = SessionManager(lte)
@@ -155,26 +160,10 @@ def worker_main(conn, lte, checkpoint_dir, worker_index):
             return True
         raise ValueError("unknown RPC method {!r}".format(method))
 
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            break   # gateway went away; nothing left to serve
-        request_id, method, kwargs = message
-        if method == "shutdown":
-            # Graceful drain: every queued adaptation still completes
-            # (per-session errors stay attributed, never raised here).
-            try:
-                manager.flush(raise_errors=False)
-            except Exception:
-                pass
-            conn.send((request_id, "ok", worker_stats()))
-            break
-        try:
-            result = handle(method, kwargs or {})
-        except Exception as error:
-            conn.send((request_id, "error",
-                       (type(error).__name__, str(error))))
-        else:
-            conn.send((request_id, "ok", result))
-    conn.close()
+    def on_shutdown(kwargs):
+        # Graceful drain: every queued adaptation still completes
+        # (per-session errors stay attributed, never raised here).
+        manager.flush(raise_errors=False)
+        return worker_stats()
+
+    serve_rpc(conn, handle, on_shutdown=on_shutdown)

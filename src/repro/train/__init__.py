@@ -11,28 +11,52 @@ autograd programs over the shared substrate in :mod:`repro.nn.batching`.
   meta-batch (local steps + global query backward) as one ``(K, ...)``
   program, joint pretraining fused across subspaces, batched
   evaluation.  Bit-identical to the sequential reference executors
-  (property-fuzzed in ``tests/train``).
+  (property-fuzzed in ``tests/train``), and factored into retrieval /
+  partition-invariant compute / ordered reduction phases the parallel
+  engine fans out.
 * :mod:`offline <repro.train.offline>` — the pooled scheduler:
   :class:`TrainerSchedule` / :class:`OfflineRun` interleave epochs
   round-robin across all meta-subspaces (shape-bucketed fusion) and
   checkpoint cursor + RNG + weights + optimizer moments after every
   epoch, so a killed pretraining run resumes to the identical phi.
+* :mod:`parallel <repro.train.parallel>` — the data-parallel tier:
+  :class:`ParallelTrainEngine` forks N workers over the shared
+  :mod:`repro.shard.rpc` machinery and splits each fused batch into
+  deterministic task spans; reduction, memory-EMA updates and RNG
+  draws stay on the master, so phi is bit-identical at any worker
+  count.
+* :mod:`stream <repro.train.stream>` — store-streamed encoded task
+  sets: :class:`EncodedTaskSet` spills encoded support/query rows into
+  an on-disk :class:`~repro.store.ChunkStore` and serves them lazily,
+  bounding peak training memory by the chunk size instead of the task
+  count (bit-identical to the materialized path).
 
 ``MetaTrainer.train`` / ``LTE.fit_offline`` ride this package by
 default (``engine="batched"``); pass ``engine="sequential"`` for the
-reference executor.
+reference executor or ``engine="parallel", workers=N`` (or set
+``REPRO_TRAIN_WORKERS``) for multi-process pretraining.
 """
 
-from .engine import (MetaBatchSlot, encode_task_sets, evaluate_batched,
-                     run_meta_batch_fused, run_pretrain_epoch_pooled,
+from .engine import (MetaBatchSlot, apply_meta_batch,
+                     build_meta_batch_inputs, compute_meta_batch,
+                     concat_meta_batch_results, encode_task_sets,
+                     evaluate_batched, run_meta_batch_fused,
+                     run_pretrain_epoch_pooled,
                      run_pretrain_epoch_sequential)
 from .offline import (DEFAULT_ENGINE, ENGINES, OfflineRun, TrainerSchedule,
                       run_offline_training)
+from .parallel import (ParallelTrainEngine, TrainParallelError,
+                       TrainWorkerCrashed, resolve_workers)
+from .stream import EncodedTaskSet
 
 __all__ = [
     "DEFAULT_ENGINE", "ENGINES",
     "TrainerSchedule", "OfflineRun", "run_offline_training",
     "MetaBatchSlot", "run_meta_batch_fused", "encode_task_sets",
+    "build_meta_batch_inputs", "compute_meta_batch",
+    "concat_meta_batch_results", "apply_meta_batch",
     "run_pretrain_epoch_sequential", "run_pretrain_epoch_pooled",
     "evaluate_batched",
+    "ParallelTrainEngine", "TrainParallelError", "TrainWorkerCrashed",
+    "resolve_workers", "EncodedTaskSet",
 ]

@@ -38,12 +38,15 @@ from ..nn.compile import get_backend
 from ..nn.functional import batched_pos_weight
 from ..nn.optim import Adam
 
-__all__ = ["encode_task_sets", "MetaBatchSlot", "run_meta_batch_fused",
-           "run_pretrain_epoch_sequential", "run_pretrain_epoch_pooled",
-           "evaluate_batched"]
+__all__ = ["encode_task_sets", "MetaBatchSlot", "MetaBatchInputs",
+           "MetaBatchResult", "build_meta_batch_inputs",
+           "slice_meta_batch_inputs", "compute_meta_batch",
+           "concat_meta_batch_results", "apply_meta_batch",
+           "run_meta_batch_fused", "run_pretrain_epoch_sequential",
+           "run_pretrain_epoch_pooled", "evaluate_batched"]
 
 
-def encode_task_sets(tasks, encode, rows_per_block=8192):
+def encode_task_sets(tasks, encode, rows_per_block=8192, spill=None):
     """Pre-encode meta-task support/query sets, block-wise.
 
     Returns ``[(feature_vector, enc_support_x, support_y, enc_query_x,
@@ -53,30 +56,51 @@ def encode_task_sets(tasks, encode, rows_per_block=8192):
     few large matrices instead of 2x|TM| tiny ones; the store-backed
     offline path rides this too, keeping peak encode memory bounded by
     the block size rather than the task count.
+
+    With ``spill`` (a directory path) the encoded rows stream into an
+    on-disk :class:`~repro.store.ChunkStore` as they are produced and an
+    :class:`~repro.train.stream.EncodedTaskSet` view is returned instead
+    of a list: peak resident memory stays bounded by the encode block /
+    store chunk size rather than ``|TM| x (k_u + k_q)``.  The spilled
+    path reuses the exact same encode-block boundaries (BLAS results
+    depend on operand shapes), so the bits read back are identical to
+    the materialized list.
     """
     tasks = list(tasks)
-    raw = []
-    for task in tasks:
-        raw.append(np.atleast_2d(np.asarray(task.support_x,
-                                            dtype=np.float64)))
-        raw.append(np.atleast_2d(np.asarray(task.query_x,
-                                            dtype=np.float64)))
-    encoded_arrays = []
-    block, block_rows = [], 0
-    for array in raw:
-        block.append(array)
-        block_rows += len(array)
-        if block_rows >= rows_per_block:
-            encoded_arrays.extend(_encode_block(block, encode))
-            block, block_rows = [], 0
-    if block:
-        encoded_arrays.extend(_encode_block(block, encode))
+    if spill is not None:
+        from .stream import spill_encoded_tasks
+        return spill_encoded_tasks(tasks, encode, rows_per_block, spill)
+    encoded_arrays = list(_iter_encoded_arrays(tasks, encode,
+                                               rows_per_block))
     out = []
     for i, task in enumerate(tasks):
         out.append((np.asarray(task.feature_vector, dtype=np.float64),
                     encoded_arrays[2 * i], task.support_y,
                     encoded_arrays[2 * i + 1], task.query_y))
     return out
+
+
+def _iter_encoded_arrays(tasks, encode, rows_per_block):
+    """Yield each task's encoded support then query array, in order.
+
+    The blocking policy — accumulate interleaved ``[sx0, qx0, sx1, ...]``
+    arrays and flush once ``rows_per_block`` rows have gathered — is the
+    bit-identity contract between the materialized and spilled paths:
+    both must hand ``encode`` the same matrices.
+    """
+    block, block_rows = [], 0
+    for task in tasks:
+        for array in (np.atleast_2d(np.asarray(task.support_x,
+                                               dtype=np.float64)),
+                      np.atleast_2d(np.asarray(task.query_x,
+                                               dtype=np.float64))):
+            block.append(array)
+            block_rows += len(array)
+            if block_rows >= rows_per_block:
+                yield from _encode_block(block, encode)
+                block, block_rows = [], 0
+    if block:
+        yield from _encode_block(block, encode)
 
 
 def _encode_block(block, encode):
@@ -92,83 +116,179 @@ def _encode_block(block, encode):
 #: the task indices (in order) it contributes this round.
 MetaBatchSlot = namedtuple("MetaBatchSlot", ["trainer", "encoded", "indices"])
 
+#: The stacked per-task arrays of one fused meta-batch, K tasks deep.
+#: ``shifts`` is the ``(K, theta_r_size)`` memory-retrieved theta_R
+#: start stack (or None without memories); ``conversions`` /
+#: ``attentions`` are per-task lists (``attentions`` entries are None
+#: when the retrieval was computed elsewhere — the parallel worker path).
+MetaBatchInputs = namedtuple("MetaBatchInputs", [
+    "features", "sx", "sy", "qx", "qy",
+    "shifts", "conversions", "attentions"])
 
-def run_meta_batch_fused(slots):
-    """Execute one pooled Eq. 12/13 meta-batch as a fused program.
+#: The pure-compute products of one fused meta-batch (or a contiguous
+#: task span of one): per-task query losses, last-step theta_R gradient
+#: stack, per-parameter query gradient stacks, adapted conversion data.
+MetaBatchResult = namedtuple("MetaBatchResult", [
+    "losses", "theta_grads", "grad_stacks", "conversion_data"])
 
-    ``slots`` carries one entry per participating trainer; every task
-    across all slots must be shape-compatible (same model configuration,
-    support/query sizes, local hyper-parameters — the pooled scheduler
-    groups accordingly).  Semantics per slot are exactly
-    :meth:`MetaTrainer.train_batch_sequential`: task-wise retrieval from
-    the batch-start memories, ``local_steps`` of fused adaptation, one
-    fused query backward, per-trainer gradient accumulation in task
-    order, deferred memory EMA updates in task order, one Eq. 13 step on
-    each trainer's phi.
 
-    Both the local and the global phase execute on the active
-    :mod:`repro.nn.compile` backend.  Parity guarantee: every backend
-    evaluates the identical float64 op sequence in the identical order,
-    so phi updates, memories, and query losses are bit-identical
-    whether the program runs eagerly (``reference``) or as a compiled
-    replay (``fused``).
+def build_meta_batch_inputs(slots, retrieval=None):
+    """Stack one meta-batch's per-task arrays; returns (models, inputs).
 
-    Returns the per-slot lists of query losses, in slot order.
+    Task-wise initialization (Eqs. 6/10/11), stacked straight off each
+    trainer's meta-learned template: the K slices start as copies of phi
+    (no per-task model construction), then the memory-retrieved theta_R
+    shifts land row-wise in the stacked UIS block — the same bits
+    ``task_retrieval`` produces per task.
+
+    ``retrieval`` (optional) is a ``(shifts, conversions)`` pair
+    computed by another process: the data-parallel master performs the
+    memory retrievals against its authoritative memories and ships them
+    to workers, whose forked memory copies are stale.  When given, the
+    local memories are never touched and ``attentions`` is all-None
+    (the EMA updates that need attentions happen on the master).
     """
-    first_params = slots[0].trainer.params
-    # Task-wise initialization (Eqs. 6/10/11), stacked straight off each
-    # trainer's meta-learned template: the K slices start as copies of
-    # phi (no per-task model construction), then the memory-retrieved
-    # theta_R shifts land row-wise in the stacked UIS block — the same
-    # bits ``task_retrieval`` produces per task.
-    models, conversions, attentions, shifts = [], [], [], []
+    models = []
+    attentions, conversions, shifts = [], [], []
     v_rs, sxs, sys_, qxs, qys = [], [], [], [], []
+    external = retrieval is not None
     for slot in slots:
         trainer = slot.trainer
         models.extend([trainer.model] * len(slot.indices))
         flat = trainer.model.get_theta_r_flat() \
-            if trainer.use_memories else None
+            if (trainer.use_memories and not external) else None
         for idx in slot.indices:
             v_r, sx, sy, qx, qy = slot.encoded[idx]
-            if trainer.use_memories:
-                attention = trainer.memories.attention(v_r)
-                omega = trainer.memories.omega_r(attention)
-                attentions.append(attention)
-                shifts.append(flat - trainer.params.sigma * omega)
-                conversions.append(trainer.memories.conversion(attention))
-            else:
-                attentions.append(None)
-                conversions.append(None)
+            if not external:
+                if trainer.use_memories:
+                    attention = trainer.memories.attention(v_r)
+                    omega = trainer.memories.omega_r(attention)
+                    attentions.append(attention)
+                    shifts.append(flat - trainer.params.sigma * omega)
+                    conversions.append(
+                        trainer.memories.conversion(attention))
+                else:
+                    attentions.append(None)
+                    conversions.append(None)
             v_rs.append(v_r)
             sxs.append(sx)
             sys_.append(np.asarray(sy, dtype=np.float64).ravel())
             qxs.append(qx)
             qys.append(np.asarray(qy, dtype=np.float64).ravel())
+    if external:
+        shift_stack, conversions = retrieval
+        conversions = list(conversions) if conversions is not None \
+            else [None] * len(v_rs)
+        attentions = [None] * len(v_rs)
+    else:
+        shift_stack = np.stack(shifts) if shifts else None
+    return models, MetaBatchInputs(
+        np.stack(v_rs), np.stack(sxs), np.stack(sys_), np.stack(qxs),
+        np.stack(qys), shift_stack, conversions, attentions)
 
+
+def slice_meta_batch_inputs(inputs, start, stop):
+    """The contiguous task span ``[start, stop)`` of a batch's inputs."""
+    return MetaBatchInputs(
+        inputs.features[start:stop], inputs.sx[start:stop],
+        inputs.sy[start:stop], inputs.qx[start:stop],
+        inputs.qy[start:stop],
+        None if inputs.shifts is None else inputs.shifts[start:stop],
+        inputs.conversions[start:stop],
+        None if inputs.attentions is None
+        else inputs.attentions[start:stop])
+
+
+def compute_meta_batch(models, params, inputs):
+    """The pure compute of one fused meta-batch: adapt + query backward.
+
+    ``models`` and ``inputs`` may cover a whole batch or any contiguous
+    task span of one: the stacked program is block-diagonal, so every
+    task's losses and gradients are bit-identical at any stack size —
+    which is what lets the data-parallel engine split a batch across
+    worker processes without perturbing a single bit.
+
+    Both the local and the global phase execute on the active
+    :mod:`repro.nn.compile` backend.  Parity guarantee: every backend
+    evaluates the identical float64 op sequence in the identical order,
+    so the returned losses, gradient stacks, and adapted conversions
+    are bit-identical whether the program runs eagerly (``reference``)
+    or as a compiled replay (``fused``).
+
+    Mutates nothing: phi, memories, and optimizer state are untouched
+    (apply the result with :func:`apply_meta_batch`).  The gradient
+    stacks may alias the backend's reusable plan workspace — copy them
+    (:func:`repro.nn.batching.copy_grad_stacks`) before running another
+    program, or ship them across a process boundary (pickling copies).
+    """
     batched = BatchedUISClassifier(models)
-    if shifts:
-        load_flat_stack(batched.uis_block, np.stack(shifts))
-    features = np.stack(v_rs)
+    if inputs.shifts is not None:
+        load_flat_stack(batched.uis_block, np.asarray(inputs.shifts))
+    features = np.asarray(inputs.features)
     batched, conversion = fused_local_adapt(
-        models, features, np.stack(sxs), np.stack(sys_),
-        conversions=conversions, batched=batched,
-        steps=max(1, first_params.local_steps), lr=first_params.rho,
-        optimizer_kind=first_params.local_optimizer,
-        balance_classes=first_params.balance_classes)
+        models, features, np.asarray(inputs.sx), np.asarray(inputs.sy),
+        conversions=list(inputs.conversions), batched=batched,
+        steps=max(1, params.local_steps), lr=params.rho,
+        optimizer_kind=params.local_optimizer,
+        balance_classes=params.balance_classes)
     # Last-step theta_R gradients feed the parameter memory (Eq. 15);
     # capture them before the global backward overwrites the stacks.
     theta_grads = theta_r_grad_stack(batched)
 
     # Global phase (Eq. 13): all K query losses in one forward/backward
     # on the active repro.nn.compile backend.
-    qy_stack = np.stack(qys)
+    qy_stack = np.asarray(inputs.qy)
     pos_weight = batched_pos_weight(qy_stack) \
-        if first_params.balance_classes else None
+        if params.balance_classes else None
     task_losses = get_backend().loss_backward(
-        batched, conversion, features, np.stack(qxs), qy_stack, pos_weight)
+        batched, conversion, features, np.asarray(inputs.qx), qy_stack,
+        pos_weight)
     stacks = grad_stacks(batched)
     loss_values = [float(value) for value in np.asarray(task_losses)]
+    return MetaBatchResult(
+        loss_values, theta_grads, stacks,
+        None if conversion is None else conversion.data)
 
+
+def concat_meta_batch_results(parts):
+    """Stitch span results back into one batch-wide result, in order.
+
+    The spans must be the contiguous partition of the batch's task list,
+    given in task order — concatenation then reproduces exactly the
+    arrays a single whole-batch :func:`compute_meta_batch` returns.
+    """
+    if len(parts) == 1:
+        return parts[0]
+    losses = [value for part in parts for value in part.losses]
+    theta_grads = np.concatenate(
+        [np.asarray(part.theta_grads) for part in parts])
+    stacks = {}
+    for name in parts[0].grad_stacks:
+        grads = [part.grad_stacks[name] for part in parts]
+        stacks[name] = None if grads[0] is None else np.concatenate(
+            [np.asarray(grad) for grad in grads])
+    conversion_data = None if parts[0].conversion_data is None \
+        else np.concatenate([np.asarray(part.conversion_data)
+                             for part in parts])
+    return MetaBatchResult(losses, theta_grads, stacks, conversion_data)
+
+
+def apply_meta_batch(slots, inputs, result):
+    """The ordered reduction tail of one fused meta-batch.
+
+    Semantics per slot are exactly the back half of
+    :meth:`MetaTrainer.train_batch_sequential`: per-trainer gradient
+    accumulation as a **fixed left-fold in task order** (float addition
+    is non-associative — a pairwise tree would diverge from the
+    sequential reference in the last bits), deferred memory EMA updates
+    (Eqs. 14-16) in task order, then one Eq. 13 step on each trainer's
+    phi.  Because :func:`compute_meta_batch` is partition-invariant and
+    this fold is fixed, the data-parallel engine applies the identical
+    update no matter how many workers computed the spans.
+
+    Returns the per-slot lists of query losses, in slot order.
+    """
+    stacks = result.grad_stacks
     out = []
     offset = 0
     for slot in slots:
@@ -189,44 +309,81 @@ def run_meta_batch_fused(slots):
                 j = offset + pos
                 v_r = slot.encoded[slot.indices[pos]][0]
                 trainer.memories.update_feature_patterns(
-                    attentions[j], v_r, params.eta)
+                    inputs.attentions[j], v_r, params.eta)
                 trainer.memories.update_parameter_memory(
-                    attentions[j], theta_grads[j], params.beta)
+                    inputs.attentions[j], result.theta_grads[j],
+                    params.beta)
                 trainer.memories.update_conversion_memory(
-                    attentions[j], conversion.data[j], params.gamma)
+                    inputs.attentions[j], result.conversion_data[j],
+                    params.gamma)
         scale = params.lam / max(1, k)
         for name, phi in phi_params.items():
             phi.data = phi.data - scale * accum[name]
-        out.append(loss_values[offset:offset + k])
+        out.append(result.losses[offset:offset + k])
         offset += k
     return out
+
+
+def run_meta_batch_fused(slots):
+    """Execute one pooled Eq. 12/13 meta-batch as a fused program.
+
+    ``slots`` carries one entry per participating trainer; every task
+    across all slots must be shape-compatible (same model configuration,
+    support/query sizes, local hyper-parameters — the pooled scheduler
+    groups accordingly).  Semantics per slot are exactly
+    :meth:`MetaTrainer.train_batch_sequential`: task-wise retrieval from
+    the batch-start memories, ``local_steps`` of fused adaptation, one
+    fused query backward, per-trainer gradient accumulation in task
+    order, deferred memory EMA updates in task order, one Eq. 13 step on
+    each trainer's phi.  The three phases are
+    :func:`build_meta_batch_inputs` -> :func:`compute_meta_batch` ->
+    :func:`apply_meta_batch`; the data-parallel engine runs the same
+    phases with the middle one fanned out across worker processes.
+
+    Returns the per-slot lists of query losses, in slot order.
+    """
+    models, inputs = build_meta_batch_inputs(slots)
+    result = compute_meta_batch(models, slots[0].trainer.params, inputs)
+    return apply_meta_batch(slots, inputs, result)
 
 
 # ----------------------------------------------------------------------
 # Joint pretraining epochs (phi-level, Adam state carried via schedules)
 # ----------------------------------------------------------------------
-def run_pretrain_epoch_sequential(schedule):
-    """One joint-pretraining epoch of a single trainer, task at a time."""
+def run_pretrain_epoch_sequential(schedule, order=None):
+    """One joint-pretraining epoch of a single trainer, task at a time.
+
+    ``order`` (optional) supplies the epoch's task permutation instead
+    of drawing it from the schedule's RNG — the data-parallel master
+    draws every order from its authoritative RNG streams and ships them,
+    so worker-side RNG state never exists, let alone drifts.
+    """
     trainer = schedule.trainer
     optimizer = Adam(trainer.model.parameters(),
                      lr=trainer.params.pretrain_lr)
     if schedule.pretrain_opt_state is not None:
         optimizer.load_state_dict(schedule.pretrain_opt_state)
     conversion = trainer.pretrain_conversion()
-    for idx in schedule.next_pretrain_order():
+    if order is None:
+        order = schedule.next_pretrain_order()
+    for idx in order:
         v_r, x, y = schedule.pretrain_sets[idx]
         trainer.pretrain_step(optimizer, conversion, v_r, x, y)
     schedule.pretrain_opt_state = optimizer.state_dict()
 
 
-def run_pretrain_epoch_pooled(schedules):
+def run_pretrain_epoch_pooled(schedules, orders=None):
     """One joint-pretraining epoch of S trainers, fused across them.
 
     Each trainer's task loop is sequential (consecutive steps share its
     phi), but the S per-subspace models are independent: step t trains
     every trainer's t-th task (per its own shuffle) in one stacked
     forward/backward and one stacked Adam step.  Slice s is bit-identical
-    to :func:`run_pretrain_epoch_sequential` on trainer s.
+    to :func:`run_pretrain_epoch_sequential` on trainer s — at ANY
+    subset of trainers, which is why the data-parallel engine can pool
+    each worker's span of a fusion group independently.  ``orders``
+    (optional) supplies the per-schedule task permutations externally
+    (see :func:`run_pretrain_epoch_sequential`).
     """
     trainers = [schedule.trainer for schedule in schedules]
     models = [trainer.model for trainer in trainers]
@@ -237,7 +394,8 @@ def run_pretrain_epoch_pooled(schedules):
 
     conversions = [trainer.pretrain_conversion() for trainer in trainers]
     conversion = None if conversions[0] is None else np.stack(conversions)
-    orders = [schedule.next_pretrain_order() for schedule in schedules]
+    if orders is None:
+        orders = [schedule.next_pretrain_order() for schedule in schedules]
     n_tasks = len(schedules[0].pretrain_sets)
     for t in range(n_tasks):
         picks = [schedule.pretrain_sets[orders[s][t]]

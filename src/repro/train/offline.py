@@ -24,6 +24,9 @@ phi, bit for bit (``tests/persist``).
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
 
 import numpy as np
@@ -37,9 +40,11 @@ __all__ = ["DEFAULT_ENGINE", "ENGINES", "check_engine", "TrainerSchedule",
            "OfflineRun", "run_offline_training"]
 
 #: The fused stacked executor is the default everywhere; the sequential
-#: reference executor remains available for parity checks and debugging.
+#: reference executor remains available for parity checks and debugging,
+#: and ``"parallel"`` fans the fused compute out across worker processes
+#: (:mod:`repro.train.parallel`).  All three are bit-identical.
 DEFAULT_ENGINE = "batched"
-ENGINES = ("batched", "sequential")
+ENGINES = ("batched", "sequential", "parallel")
 
 
 def check_engine(engine):
@@ -61,7 +66,13 @@ class TrainerSchedule:
 
     def __init__(self, trainer, encoded, epochs=None):
         self.trainer = trainer
-        self.encoded = None if encoded is None else list(encoded)
+        if encoded is None or hasattr(encoded, "shape_signature"):
+            # None, or a store-streamed EncodedTaskSet — keep the lazy
+            # view; list() would materialize every task it exists to
+            # keep out of memory.
+            self.encoded = encoded
+        else:
+            self.encoded = list(encoded)
         self.n_tasks = None if encoded is None else len(self.encoded)
         self.rng = np.random.default_rng(trainer.seed)
         params = trainer.params
@@ -98,15 +109,24 @@ class TrainerSchedule:
         """Per-task ``(v_R, support+query tuples, labels)`` for joint
         pretraining (built lazily, cached)."""
         if self._pretrain_sets is None:
-            self._pretrain_sets = [
-                (v_r, np.vstack([sx, qx]),
-                 np.concatenate([sy, qy]).astype(np.float64))
-                for v_r, sx, sy, qx, qy in self.encoded]
+            view = getattr(self.encoded, "pretrain_view", None)
+            if view is not None:
+                # Store-streamed task set: serve the lazy projection so
+                # a pretrain epoch touches one task at a time.
+                self._pretrain_sets = view()
+            else:
+                self._pretrain_sets = [
+                    (v_r, np.vstack([sx, qx]),
+                     np.concatenate([sy, qy]).astype(np.float64))
+                    for v_r, sx, sy, qx, qy in self.encoded]
         return self._pretrain_sets
 
     # -- fusion grouping ------------------------------------------------
     def _shape_signature(self):
         """Uniform (support, query) shapes of the task set, or None."""
+        signature = getattr(self.encoded, "shape_signature", None)
+        if signature is not None:
+            return signature
         shapes = {(sx.shape, qx.shape)
                   for _, sx, _, qx, _ in self.encoded}
         return next(iter(shapes)) if len(shapes) == 1 else None
@@ -213,17 +233,46 @@ class OfflineRun:
         :class:`TrainerSchedule` instances (typically one per
         meta-subspace; a single one reproduces ``MetaTrainer.train``).
     engine:
-        ``"batched"`` (default) or ``"sequential"``; bit-identical.
+        ``"batched"`` (default), ``"sequential"``, or ``"parallel"``
+        (multi-process, see :mod:`repro.train.parallel`); all
+        bit-identical.
     on_epoch:
         Optional callback ``(schedule, kind, epoch_index, mean_loss)``
         fired after each completed epoch — ``kind`` is ``"pretrain"``
         (``mean_loss`` is None) or ``"meta"`` (mean query loss).
+    workers:
+        Worker-process count for the ``"parallel"`` engine (defaults to
+        ``REPRO_TRAIN_WORKERS``, else the core count); ignored by the
+        in-process engines.  The engine instance is created lazily on
+        the first epoch and owned by this run — :meth:`close` it (or
+        use :func:`run_offline_training`, which does).
     """
 
-    def __init__(self, schedules, engine=None, on_epoch=None):
+    def __init__(self, schedules, engine=None, on_epoch=None,
+                 workers=None):
         self.schedules = list(schedules)
         self.engine = check_engine(engine)
         self.on_epoch = on_epoch
+        self.workers = workers
+        self._parallel = None
+
+    @property
+    def parallel(self):
+        """The lazily created :class:`ParallelTrainEngine`, or None for
+        the in-process engines."""
+        if self.engine == "parallel" and self._parallel is None:
+            from .parallel import ParallelTrainEngine
+            self._parallel = ParallelTrainEngine(self.schedules,
+                                                 workers=self.workers)
+        return self._parallel
+
+    def close(self):
+        """Release the worker pool (idempotent; no-op for in-process
+        engines).  Schedules and trainers stay valid — all state lives
+        on the master."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
 
     @property
     def done(self):
@@ -247,7 +296,9 @@ class OfflineRun:
         for group in _grouped(pretraining,
                               TrainerSchedule.pretrain_group_key):
             t0 = time.perf_counter()
-            if self.engine == "batched" and len(group) > 1:
+            if self.engine == "parallel":
+                self.parallel.pretrain_epoch(group)
+            elif self.engine == "batched" and len(group) > 1:
                 run_pretrain_epoch_pooled(group)
             else:
                 for schedule in group:
@@ -261,7 +312,10 @@ class OfflineRun:
                            schedule.pretrain_done - 1, None)
         for group in _grouped(meta, TrainerSchedule.meta_group_key):
             t0 = time.perf_counter()
-            losses = _run_meta_epoch(group, self.engine)
+            losses = _run_meta_epoch(
+                group, self.engine,
+                parallel=self.parallel if self.engine == "parallel"
+                else None)
             metrics.histogram("train.offline.meta_epoch.seconds") \
                 .observe(time.perf_counter() - t0)
             metrics.counter("train.offline.epochs.meta").inc()
@@ -284,12 +338,15 @@ def _grouped(schedules, key_method):
     return list(groups.values())
 
 
-def _run_meta_epoch(schedules, engine):
+def _run_meta_epoch(schedules, engine, parallel=None):
     """One meta epoch for a fusion group, batches interleaved round-robin.
 
     Returns per-schedule lists of query losses in task order — exactly
     the list the sequential per-trainer epoch would produce, because the
-    round-robin only reorders work *across* independent trainers.
+    round-robin only reorders work *across* independent trainers.  With
+    ``parallel`` (a :class:`~repro.train.parallel.ParallelTrainEngine`)
+    each fusable batch's compute fans out across worker processes;
+    non-fusable or singleton batches run on the master, as ever.
     """
     batch_size = max(1, int(schedules[0].trainer.params.batch_size))
     # Task sets of non-uniform support/query shapes cannot np.stack into
@@ -312,7 +369,10 @@ def _run_meta_epoch(schedules, engine):
         if not slots:
             continue
         total = sum(len(slot.indices) for slot in slots)
-        if engine == "batched" and fusable and total > 1:
+        if parallel is not None and fusable and total > 1:
+            slot_losses = parallel.meta_batch(
+                slots, [schedules[s] for s in owners])
+        elif engine == "batched" and fusable and total > 1:
             slot_losses = run_meta_batch_fused(slots)
         else:
             slot_losses = [
@@ -328,7 +388,7 @@ def _run_meta_epoch(schedules, engine):
 # The LTE offline phase: pooled training over every prepared subspace
 # ----------------------------------------------------------------------
 def run_offline_training(lte, subspaces, engine=None, progress=None,
-                         checkpoint=None):
+                         checkpoint=None, workers=None, stream=None):
     """Meta-train every prepared subspace of ``lte``, pooled and resumable.
 
     Builds one :class:`TrainerSchedule` per subspace (regenerating the
@@ -340,61 +400,105 @@ def run_offline_training(lte, subspaces, engine=None, progress=None,
     ``progress`` (if given) receives ``(subspace, ("epoch",
     epoch_index, mean_query_loss))`` after every meta epoch and
     ``(subspace, "trained")`` per subspace once training completes.
+    Event order is deterministic — epoch by epoch, subspaces in run
+    order — under every engine, including ``"parallel"`` (the master
+    emits after its ordered reduction, so worker reply timing cannot
+    reorder events).
+
+    ``workers`` selects the pool size of the ``"parallel"`` engine.
+    Setting ``REPRO_TRAIN_WORKERS`` supplies a default pool size *and*
+    switches an unspecified ``engine`` to ``"parallel"``.
+
+    ``stream`` bounds encode/training memory: ``True`` spills every
+    subspace's encoded task set into a private on-disk
+    :class:`~repro.store.ChunkStore` (removed when the run finishes), a
+    path does the same under that directory (kept), and ``None``/False
+    materializes in memory as ever.  Training over spilled sets is
+    bit-identical to the materialized path.
     """
     cfg = lte.config
+    if workers is None and engine is None \
+            and os.environ.get("REPRO_TRAIN_WORKERS"):
+        engine = "parallel"
     subspaces = list(subspaces)
     saved = _load_saved_schedules(checkpoint, lte, subspaces)
-    schedules = []
-    for subspace in subspaces:
-        state = lte.states[subspace]
-        entry = saved.get(tuple(sorted(subspace.names)))
-        trainer = lte.build_trainer(state)
-        if entry is not None and _entry_done(entry):
-            # Finished in the checkpoint: skip the (expensive) task
-            # regeneration and encoding — nothing remains to train.
-            schedule = TrainerSchedule(trainer, None)
+    spill_root, owns_spill = None, False
+    if stream:
+        if stream is True:
+            spill_root = tempfile.mkdtemp(prefix="repro-train-stream-")
+            owns_spill = True
         else:
-            tasks = state.task_generator.generate(cfg.n_tasks)
-            schedule = TrainerSchedule(
-                trainer, encode_task_sets(tasks, state.encode_scaled))
-        if entry is not None:
-            schedule.load_state_dict(entry)
-        schedules.append(schedule)
+            spill_root = str(stream)
+            os.makedirs(spill_root, exist_ok=True)
+    try:
+        schedules = []
+        for index, subspace in enumerate(subspaces):
+            state = lte.states[subspace]
+            entry = saved.get(tuple(sorted(subspace.names)))
+            trainer = lte.build_trainer(state)
+            if entry is not None and _entry_done(entry):
+                # Finished in the checkpoint: skip the (expensive) task
+                # regeneration and encoding — nothing remains to train.
+                schedule = TrainerSchedule(trainer, None)
+            else:
+                tasks = state.task_generator.generate(cfg.n_tasks)
+                spill = None if spill_root is None else os.path.join(
+                    spill_root, "subspace-{}".format(index))
+                schedule = TrainerSchedule(
+                    trainer, encode_task_sets(tasks, state.encode_scaled,
+                                              spill=spill))
+            if entry is not None:
+                schedule.load_state_dict(entry)
+            schedules.append(schedule)
 
-    by_schedule = dict(zip(schedules, subspaces))
+        by_schedule = dict(zip(schedules, subspaces))
 
-    def on_epoch(schedule, kind, epoch, mean_loss):
-        if progress is None:
-            return
-        if kind == "meta":
-            progress(by_schedule[schedule], ("epoch", epoch, mean_loss))
-        else:
-            progress(by_schedule[schedule], ("pretrain", epoch))
+        def on_epoch(schedule, kind, epoch, mean_loss):
+            if progress is None:
+                return
+            if kind == "meta":
+                progress(by_schedule[schedule],
+                         ("epoch", epoch, mean_loss))
+            else:
+                progress(by_schedule[schedule], ("pretrain", epoch))
 
-    run = OfflineRun(schedules, engine=engine, on_epoch=on_epoch)
-    while not run.done:
-        run.step_epoch()
-        if checkpoint is not None:
-            _save_run(checkpoint, lte, subspaces, schedules, run.engine)
+        run = OfflineRun(schedules, engine=engine, on_epoch=on_epoch,
+                         workers=workers)
+        try:
+            while not run.done:
+                run.step_epoch()
+                # Checkpoint strictly after the epoch's reduction
+                # barrier: every engine (any worker count) passes
+                # through identical master state here, so the file
+                # resumes interchangeably across engines.
+                if checkpoint is not None:
+                    _save_run(checkpoint, lte, subspaces, schedules, run)
+        finally:
+            run.close()
 
-    for subspace, schedule in zip(subspaces, schedules):
-        lte.states[subspace].trainer = schedule.trainer
-        if progress is not None:
-            progress(subspace, "trained")
-    return run
+        for subspace, schedule in zip(subspaces, schedules):
+            lte.states[subspace].trainer = schedule.trainer
+            if progress is not None:
+                progress(subspace, "trained")
+        return run
+    finally:
+        if owns_spill:
+            shutil.rmtree(spill_root, ignore_errors=True)
 
 
-def _save_run(checkpoint, lte, subspaces, schedules, engine):
+def _save_run(checkpoint, lte, subspaces, schedules, run):
     from ..nn.compile import get_backend
     from ..persist.state import save_pretrain_run
 
     entries = [{"names": list(subspace.names),
                 "schedule": schedule.state_dict()}
                for subspace, schedule in zip(subspaces, schedules)]
-    # The nn backend is recorded for provenance only: backends are
-    # bit-identical, so a run may resume under either.
+    # The engine, worker count and nn backend are recorded for
+    # provenance only: all engines and backends are bit-identical, so a
+    # run may resume under any of them, at any worker count.
     save_pretrain_run(checkpoint, lte, entries,
-                      meta={"engine": engine,
+                      meta={"engine": run.engine,
+                            "workers": run.workers,
                             "nn_backend": get_backend().name})
 
 

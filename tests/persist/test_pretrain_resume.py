@@ -32,22 +32,26 @@ class _Killed(Exception):
 
 
 def _fit_killed_after(table, subspaces, checkpoint, kill_epoch,
-                      kill_phase="epoch"):
-    """fit_offline that dies once every subspace finished ``kill_epoch``
-    of ``kill_phase`` ("pretrain" or "epoch" = the meta loop)."""
+                      kill_phase="epoch", kill_count=None, **fit_kwargs):
+    """fit_offline that dies once ``kill_count`` subspaces (default:
+    all) finished ``kill_epoch`` of ``kill_phase`` ("pretrain" or
+    "epoch" = the meta loop).  ``kill_count < len(subspaces)`` kills
+    *mid-tick* — after one fusion group's ordered reduction but before
+    the epoch's checkpoint barrier."""
     finished = set()
+    target = len(subspaces) if kill_count is None else kill_count
 
     def progress(subspace, stage):
         if isinstance(stage, tuple) and stage[0] == kill_phase \
                 and stage[1] == kill_epoch:
             finished.add(subspace)
-            if len(finished) == len(subspaces):
+            if len(finished) == target:
                 raise _Killed()
 
     lte = LTE(resume_config())
     with pytest.raises(_Killed):
         lte.fit_offline(table, subspaces=subspaces, progress=progress,
-                        checkpoint=str(checkpoint))
+                        checkpoint=str(checkpoint), **fit_kwargs)
 
 
 def assert_identical_trainers(a, b):
@@ -157,3 +161,77 @@ def test_resume_rejects_foreign_system(tmp_path, persist_table,
     foreign = LTE(resume_config())
     with pytest.raises(CheckpointError):
         foreign.fit_offline(other_table, checkpoint=str(checkpoint))
+
+
+# ----------------------------------------------------------------------
+# Cross-engine resume interchange (parallel <-> single-process)
+# ----------------------------------------------------------------------
+# Checkpoints are written only after each epoch's reduction barrier, at
+# which point every engine (any worker count) has passed through
+# identical master state — so a run killed under one engine must resume
+# to the identical phi under any other.
+
+@pytest.mark.train_parallel
+@pytest.mark.parametrize("kill_phase,kill_epoch",
+                         [("pretrain", 1), ("epoch", 1)])
+def test_parallel_kill_resumes_under_batched(tmp_path, persist_table,
+                                             persist_subspaces,
+                                             uninterrupted, kill_phase,
+                                             kill_epoch):
+    checkpoint = tmp_path / "pretrain"
+    _fit_killed_after(persist_table, persist_subspaces, checkpoint,
+                      kill_epoch, kill_phase=kill_phase,
+                      engine="parallel", workers=2)
+    summary = inspect_checkpoint(str(checkpoint))
+    assert summary["kind"] == "pretrain-run"
+    assert summary["digest_ok"]
+    resumed = LTE(resume_config())
+    resumed.fit_offline(persist_table, subspaces=persist_subspaces,
+                        checkpoint=str(checkpoint))
+    assert_identical_trainers(uninterrupted, resumed)
+
+
+@pytest.mark.train_parallel
+@pytest.mark.parametrize("workers", [1, 3])
+def test_batched_kill_resumes_under_parallel(tmp_path, persist_table,
+                                             persist_subspaces,
+                                             uninterrupted, workers):
+    checkpoint = tmp_path / "pretrain"
+    _fit_killed_after(persist_table, persist_subspaces, checkpoint, 0)
+    resumed = LTE(resume_config())
+    resumed.fit_offline(persist_table, subspaces=persist_subspaces,
+                        checkpoint=str(checkpoint), engine="parallel",
+                        workers=workers)
+    assert_identical_trainers(uninterrupted, resumed)
+
+
+@pytest.mark.train_parallel
+def test_mid_reduction_kill_resumes_identically(tmp_path, persist_table,
+                                                persist_subspaces,
+                                                uninterrupted):
+    """Killed after one fusion group's ordered reduction but before the
+    epoch's checkpoint barrier: the half-finished tick is discarded and
+    the resume replays it from the last barrier, bit-identically, under
+    a different worker count."""
+    checkpoint = tmp_path / "pretrain"
+    _fit_killed_after(persist_table, persist_subspaces, checkpoint, 1,
+                      kill_count=1, engine="parallel", workers=2)
+    resumed = LTE(resume_config())
+    resumed.fit_offline(persist_table, subspaces=persist_subspaces,
+                        checkpoint=str(checkpoint), engine="parallel",
+                        workers=3)
+    assert_identical_trainers(uninterrupted, resumed)
+
+
+@pytest.mark.train_parallel
+def test_checkpoint_meta_records_engine_provenance(tmp_path, persist_table,
+                                                   persist_subspaces):
+    checkpoint = tmp_path / "pretrain"
+    lte = LTE(resume_config())
+    lte.fit_offline(persist_table, subspaces=persist_subspaces,
+                    checkpoint=str(checkpoint), engine="parallel",
+                    workers=2)
+    meta = inspect_checkpoint(str(checkpoint))["meta"]
+    assert meta["engine"] == "parallel"
+    assert meta["workers"] == 2
+    assert meta["nn_backend"]
